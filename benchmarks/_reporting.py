@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark modules.
+
+Each benchmark regenerates one table or figure of the paper and needs its
+text report to reach the operator even though pytest captures stdout: the
+report is therefore written both to ``benchmarks/results/<name>.txt`` and to
+the real stdout (``sys.__stdout__``), so it appears inline in
+``pytest benchmarks/ --benchmark-only`` output and survives on disk.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, report: str) -> Path:
+    """Print ``report`` past pytest's capture and persist it to the results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(report + "\n")
+    stream = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
+    stream.write(f"\n===== {name} =====\n{report}\n")
+    stream.flush()
+    return path

@@ -1,0 +1,104 @@
+"""Ablation: per-update cost versus rank R and window length W (Theorems 5/7).
+
+Theorem 7 states that SNS+_RND's per-update cost is ``O(M²Rθ + M²R²)`` —
+independent of the window length ``W`` and of the window's non-zero count —
+while SNS_MAT's cost (Theorem 3) scales with the number of non-zeros in the
+window.  This bench sweeps R and W and reports the measured latencies.
+
+Expected shape: SNS+_RND latency grows with R but is essentially flat in W,
+whereas SNS_MAT grows with W (more units in the window means more non-zeros
+to sweep).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from benchmarks._reporting import emit
+from repro.als.als import decompose
+from repro.core.base import SNSConfig
+from repro.core.registry import create_algorithm
+from repro.data.generators import generate_synthetic_stream
+from repro.experiments.reporting import format_table
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+MODE_SIZES = (40, 40)
+PERIOD = 100.0
+RECORDS_PER_PERIOD = 400.0
+
+
+def _mean_update_seconds(name: str, rank: int, window_length: int) -> float:
+    stream = generate_synthetic_stream(
+        mode_sizes=MODE_SIZES,
+        rank=5,
+        n_records=int(RECORDS_PER_PERIOD * (window_length + 4)),
+        period=PERIOD,
+        records_per_period=RECORDS_PER_PERIOD,
+        seed=3,
+    )
+    config = WindowConfig(
+        mode_sizes=MODE_SIZES, window_length=window_length, period=PERIOD
+    )
+    processor = ContinuousStreamProcessor(stream, config)
+    initial = decompose(processor.window.tensor, rank=rank, n_iterations=5, seed=0)
+    model = create_algorithm(name, SNSConfig(rank=rank, theta=20, seed=0))
+    model.initialize(processor.window, initial.decomposition)
+    deltas = [delta for _, delta in processor.events(max_events=220)]
+    cycle = itertools.cycle(deltas)
+    for _ in range(20):
+        model.update(next(cycle))
+    n_timed = 120
+    started = time.perf_counter()
+    for _ in range(n_timed):
+        model.update(next(cycle))
+    return (time.perf_counter() - started) / n_timed
+
+
+def test_ablation_rank_and_window_scaling(benchmark):
+    """SNS+_RND is flat in W and grows with R; SNS_MAT grows with W."""
+
+    def measure() -> dict[str, list[tuple[int, int, float]]]:
+        results: dict[str, list[tuple[int, int, float]]] = {
+            "sns_rnd_plus": [],
+            "sns_mat": [],
+        }
+        for rank in (5, 10, 20):
+            results["sns_rnd_plus"].append(
+                (rank, 8, _mean_update_seconds("sns_rnd_plus", rank, 8))
+            )
+        for window_length in (4, 8, 16):
+            results["sns_rnd_plus"].append(
+                (10, window_length, _mean_update_seconds("sns_rnd_plus", 10, window_length))
+            )
+            results["sns_mat"].append(
+                (10, window_length, _mean_update_seconds("sns_mat", 10, window_length))
+            )
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        (name, rank, window_length, 1e6 * seconds)
+        for name, series in results.items()
+        for rank, window_length, seconds in series
+    ]
+    report = format_table(
+        ("method", "R", "W", "update time [us]"),
+        rows,
+        title="Ablation — per-update cost vs rank R and window length W",
+    )
+    emit("ablation_complexity", report)
+
+    # Shape check 1: SNS+_RND latency is essentially flat in W (within 2x),
+    # matching its W-independent bound (Theorem 7).
+    w_series = [s for r, w, s in results["sns_rnd_plus"] if r == 10]
+    assert max(w_series) < 2.0 * min(w_series)
+    # Shape check 2: SNS_MAT gets clearly slower as the window grows.
+    mat_series = [s for _, w, s in sorted(results["sns_mat"], key=lambda x: x[1])]
+    assert mat_series[-1] > 1.5 * mat_series[0]
+    # Shape check 3: SNS+_RND latency increases with the rank.
+    r_series = [s for r, w, s in results["sns_rnd_plus"] if w == 8][:3]
+    assert r_series[-1] > r_series[0]

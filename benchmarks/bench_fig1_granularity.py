@@ -1,0 +1,45 @@
+"""Fig. 1(c,d,e) — continuous CPD vs. conventional CPD at fine granularities.
+
+Expected shape (matching the paper): as the conventional update interval
+shrinks, fitness drops and the parameter count explodes, while continuous CPD
+(SNS_RND at the coarse period) keeps the coarse parameter count, stays close
+to the coarse fitness, and updates in microseconds per event.
+"""
+
+from __future__ import annotations
+
+from benchmarks._reporting import emit
+from benchmarks.conftest import scaled_events
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.granularity import format_granularity, run_granularity
+
+
+def test_fig1_granularity_tradeoff(benchmark):
+    """Regenerate the Fig. 1 sweep on the NY-Taxi-like stream."""
+    settings = ExperimentSettings(
+        dataset="nyc_taxi",
+        scale=0.2,
+        max_events=scaled_events(2000),
+        n_checkpoints=10,
+        als_iterations=8,
+    )
+    result = benchmark.pedantic(
+        run_granularity,
+        kwargs={"settings": settings, "divisors": (60, 20, 10, 4, 2, 1)},
+        rounds=1,
+        iterations=1,
+    )
+    report = format_granularity(result)
+    emit("fig1_granularity", report)
+
+    conventional = result.conventional()
+    continuous = result.continuous()
+    # Shape check 1: parameters grow monotonically as the interval shrinks.
+    parameters = [point.n_parameters for point in conventional]
+    assert parameters == sorted(parameters, reverse=True)
+    # Shape check 2: the finest granularity fits worse than the coarsest.
+    assert conventional[0].fitness < conventional[-1].fitness
+    # Shape check 3: continuous CPD keeps the coarse parameter count and is
+    # orders of magnitude cheaper per update than a conventional re-fit.
+    assert continuous.n_parameters == conventional[-1].n_parameters
+    assert continuous.update_microseconds < conventional[-1].update_microseconds

@@ -1,0 +1,50 @@
+"""Fig. 4 — relative fitness over time for every method on every dataset.
+
+Expected shape (matching the paper): the SliceNStitch variants form
+continuous curves that stay in the 0.7-1.0 relative-fitness band, the
+per-period baselines produce one point per period, the unstable variants
+(SNS_VEC / SNS_RND) may collapse on some streams, and NeCPD trails everyone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._reporting import emit
+from benchmarks.conftest import scaled_events
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.fitness_over_time import (
+    format_fitness_over_time,
+    run_fitness_over_time,
+)
+
+DATASETS = ("divvy_bikes", "chicago_crime", "nyc_taxi", "ride_austin")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig4_relative_fitness_over_time(benchmark, dataset):
+    """Regenerate the Fig. 4 panel for one dataset."""
+    settings = ExperimentSettings(
+        dataset=dataset,
+        scale=0.12,
+        max_events=scaled_events(2500),
+        n_checkpoints=10,
+        als_iterations=8,
+    )
+    result = benchmark.pedantic(
+        run_fitness_over_time, kwargs={"settings": settings}, rounds=1, iterations=1
+    )
+    emit(f"fig4_fitness_over_time_{dataset}", format_fitness_over_time(result))
+
+    experiment = result.experiment
+    # Shape check: the stable SliceNStitch variants stay in a sane relative-
+    # fitness band (the paper reports 72-100%; allow slack for synthetic data).
+    for method in ("sns_rnd_plus", "sns_vec_plus", "sns_mat"):
+        value = experiment.average_relative_fitness(method)
+        assert np.isfinite(value)
+        assert value > 0.5, f"{method} collapsed on {dataset} ({value:.3f})"
+    # Continuous methods produce many checkpoints; baselines only a few.
+    assert len(experiment.methods["sns_rnd_plus"].fitness_series) >= len(
+        experiment.methods["als"].fitness_series
+    )

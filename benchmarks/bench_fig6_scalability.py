@@ -1,0 +1,52 @@
+"""Fig. 6 — total runtime versus the number of processed events.
+
+Expected shape (matching the paper): the total update time of every
+SliceNStitch variant grows linearly in the number of events (Observation 5).
+"""
+
+from __future__ import annotations
+
+from benchmarks._reporting import emit
+from benchmarks.conftest import scaled_events
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.scalability import format_scalability, run_scalability
+
+METHODS = ("sns_vec", "sns_rnd", "sns_vec_plus", "sns_rnd_plus")
+
+
+def test_fig6_linear_scalability(benchmark):
+    """Regenerate the Fig. 6 series on the NY-Taxi-like stream."""
+    settings = ExperimentSettings(
+        dataset="nyc_taxi", scale=0.15, max_events=1000, als_iterations=8
+    )
+    base = scaled_events(600)
+    event_counts = tuple(base * k for k in (1, 2, 3, 4, 5))
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs={
+            "settings": settings,
+            "methods": METHODS,
+            "event_counts": event_counts,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig6_scalability", format_scalability(result))
+
+    for method in METHODS:
+        series = result.total_seconds[method]
+        counts = result.event_counts
+        # Shape check 1: more events never get cheaper.
+        assert series[-1] > series[0]
+        # Shape check 2: growth is essentially linear (Observation 5).  The
+        # wall-clock samples are sub-second, so instead of a tight R² bound
+        # (fragile under timer noise) check that the cost ratio between the
+        # largest and smallest runs tracks the event ratio — a superlinear
+        # (e.g. quadratic) method would blow far past the upper bound.
+        event_ratio = counts[-1] / counts[0]
+        time_ratio = series[-1] / series[0]
+        assert 0.4 * event_ratio < time_ratio < 2.5 * event_ratio, (
+            f"{method} total runtime is not linear in the number of events "
+            f"(time ratio {time_ratio:.1f} for event ratio {event_ratio:.1f})"
+        )
+        assert result.linearity(method) > 0.75

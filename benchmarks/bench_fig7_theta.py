@@ -1,0 +1,46 @@
+"""Fig. 7 — effect of the sampling threshold θ on SNS_RND and SNS+_RND.
+
+Expected shape (matching the paper, Observation 6): fitness improves with
+diminishing returns as θ grows, while the per-update time increases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._reporting import emit
+from benchmarks.conftest import scaled_events
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.theta_sweep import format_theta_sweep, run_theta_sweep
+
+
+def test_fig7_theta_sweep(benchmark):
+    """Regenerate the Fig. 7 sweep on the NY-Taxi-like stream."""
+    settings = ExperimentSettings(
+        dataset="nyc_taxi",
+        scale=0.15,
+        max_events=scaled_events(1500),
+        n_checkpoints=6,
+        als_iterations=8,
+    )
+    result = benchmark.pedantic(
+        run_theta_sweep,
+        kwargs={
+            "settings": settings,
+            "methods": ("sns_rnd", "sns_rnd_plus"),
+            "fractions": (0.25, 0.5, 1.0, 1.5, 2.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig7_theta_sweep", format_theta_sweep(result))
+
+    for method in ("sns_rnd", "sns_rnd_plus"):
+        fitness = result.relative_fitness[method]
+        times = result.update_microseconds[method]
+        assert all(np.isfinite(t) and t > 0 for t in times)
+        # Shape check 1: the largest θ is at least as accurate as the smallest
+        # (modulo noise, fitness should not *decrease* with more samples).
+        assert fitness[-1] >= fitness[0] - 0.05
+        # Shape check 2: more samples cost more time per update.
+        assert times[-1] > times[0] * 0.9

@@ -1,0 +1,48 @@
+"""Fig. 8 — effect of the clipping threshold η on SNS+_VEC and SNS+_RND.
+
+Expected shape (matching the paper, Observation 7): relative fitness is
+insensitive to η over a wide range, as long as η is not absurdly small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._reporting import emit
+from benchmarks.conftest import scaled_events
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.eta_sweep import format_eta_sweep, run_eta_sweep
+
+ETAS = (32.0, 100.0, 320.0, 1000.0, 3200.0, 16000.0)
+
+
+def test_fig8_eta_sweep(benchmark):
+    """Regenerate the Fig. 8 sweep on the Chicago-Crime-like stream."""
+    settings = ExperimentSettings(
+        dataset="chicago_crime",
+        scale=0.12,
+        max_events=scaled_events(1500),
+        n_checkpoints=6,
+        als_iterations=8,
+    )
+    result = benchmark.pedantic(
+        run_eta_sweep,
+        kwargs={
+            "settings": settings,
+            "methods": ("sns_vec_plus", "sns_rnd_plus"),
+            "etas": ETAS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig8_eta_sweep", format_eta_sweep(result))
+
+    for method in ("sns_vec_plus", "sns_rnd_plus"):
+        series = result.relative_fitness[method]
+        assert all(np.isfinite(v) for v in series)
+        # Shape check: fitness varies little across two orders of magnitude of
+        # η (Observation 7) — compare the spread of the η >= 100 points.
+        stable = series[1:]
+        assert max(stable) - min(stable) < 0.25, (
+            f"{method} fitness is unexpectedly sensitive to eta: {series}"
+        )

@@ -1,0 +1,52 @@
+"""Micro-benchmarks: per-event update latency of every SliceNStitch variant.
+
+These are conventional pytest-benchmark measurements (many rounds of a single
+event update), complementing the experiment-level timings of Fig. 5 and
+supporting Observation 2 (per-update cost ordering: SNS+_RND and SNS_RND stay
+bounded by θ, SNS_VEC scales with the row degree, SNS_MAT touches the whole
+window).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.als.als import decompose
+from repro.core.base import SNSConfig
+from repro.core.registry import ALGORITHMS, create_algorithm
+from repro.data.generators import generate_dataset
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+
+@pytest.fixture(scope="module")
+def prepared_stream():
+    """A mid-size NY-Taxi-like stream with an ALS initialisation."""
+    stream, spec = generate_dataset("nyc_taxi", scale=0.2)
+    config = WindowConfig(
+        mode_sizes=spec.mode_sizes,
+        window_length=spec.window_length,
+        period=spec.period,
+    )
+    processor = ContinuousStreamProcessor(stream, config)
+    initial = decompose(processor.window.tensor, rank=spec.rank, n_iterations=8, seed=0)
+    return stream, spec, config, initial.decomposition
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_update_latency(benchmark, prepared_stream, name):
+    """Median latency of a single factor-matrix update for one event."""
+    stream, spec, config, initial = prepared_stream
+    processor = ContinuousStreamProcessor(stream, config)
+    model = create_algorithm(
+        name, SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, seed=0)
+    )
+    model.initialize(processor.window, initial)
+    events = itertools.cycle(
+        [delta for _, delta in processor.events(max_events=400)]
+    )
+
+    benchmark(lambda: model.update(next(events)))
+    assert model.n_updates > 0

@@ -1,0 +1,31 @@
+"""Benchmark-wide fixtures and sizing knobs.
+
+The environment variable ``REPRO_BENCH_SCALE`` (default ``1.0``) scales every
+benchmark's workload: values below 1 make the whole suite faster (useful on
+slow machines or in CI), values above 1 stress larger streams.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Global multiplier applied to benchmark workload sizes."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture(scope="session")
+def workload_scale() -> float:
+    """Session fixture exposing the global benchmark scale."""
+    return bench_scale()
+
+
+def scaled_events(base: int, minimum: int = 200) -> int:
+    """Scale an event count by the global benchmark scale."""
+    return max(int(base * bench_scale()), minimum)

@@ -1,0 +1,75 @@
+"""Practitioner's guide in action: choosing a SliceNStitch variant (Section VI-F).
+
+The paper recommends picking, among SNS_MAT, SNS+_VEC, and SNS+_RND, the most
+accurate variant that fits your per-update latency budget, and warns against
+the unclipped variants.  This example runs all five variants (plus the ALS
+reference) on the same crime-report-like stream and prints the speed/fitness
+trade-off so the recommendation can be checked on your own data.
+
+Run with::
+
+    python examples/algorithm_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_experiment
+
+METHODS = ("sns_mat", "sns_vec", "sns_rnd", "sns_vec_plus", "sns_rnd_plus", "als")
+
+#: Per-update latency budgets (microseconds) to illustrate the selection rule.
+BUDGETS_MICROSECONDS = (300.0, 1000.0, 5000.0)
+
+
+def main() -> None:
+    settings = ExperimentSettings(
+        dataset="chicago_crime",
+        scale=0.15,
+        max_events=2_500,
+        n_checkpoints=10,
+        als_iterations=10,
+    )
+    experiment = run_experiment(settings, METHODS)
+
+    rows = []
+    for name in METHODS:
+        outcome = experiment.methods[name]
+        rows.append(
+            (
+                outcome.label,
+                outcome.kind,
+                outcome.mean_update_microseconds,
+                experiment.average_relative_fitness(name),
+            )
+        )
+    print(
+        format_table(
+            ("method", "kind", "update time [us]", "avg relative fitness"),
+            rows,
+            title="Speed / fitness trade-off (Chicago-Crime-like stream)",
+        )
+    )
+
+    # Apply the paper's selection rule for a few latency budgets: among the
+    # *stable* variants, pick the most accurate one within budget.
+    stable = ("sns_mat", "sns_vec_plus", "sns_rnd_plus")
+    print("\npractitioner's guide (Section VI-F):")
+    for budget in BUDGETS_MICROSECONDS:
+        affordable = [
+            name
+            for name in stable
+            if experiment.methods[name].mean_update_microseconds <= budget
+        ]
+        if affordable:
+            best = max(affordable, key=experiment.average_relative_fitness)
+            label = experiment.methods[best].label
+            print(f"  budget {budget:7.0f} us/update -> use {label}")
+        else:
+            print(f"  budget {budget:7.0f} us/update -> no stable variant fits; "
+                  "lower the rank R or the sampling threshold theta")
+
+
+if __name__ == "__main__":
+    main()

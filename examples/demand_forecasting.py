@@ -1,0 +1,109 @@
+"""Short-horizon demand forecasting from the streaming CP decomposition.
+
+CP decomposition is a standard preprocessing step for downstream machine
+learning (Section VII-C of the paper): the factor matrices summarise the
+stream, and the time-mode factor carries the temporal dynamics.  This example
+uses the continuously updated factors of SNS+_RND on a bike-sharing-like
+stream to forecast the demand of the *next* tensor unit for every
+(source, destination) pair:
+
+* at each period boundary, the next unit's time-factor row is extrapolated
+  from the last rows of the time factor (an exponentially weighted average),
+* the predicted unit is compared against what actually arrives one period
+  later, and against a naive "repeat the last unit" baseline.
+
+Run with::
+
+    python examples/demand_forecasting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ContinuousStreamProcessor,
+    SNSConfig,
+    WindowConfig,
+    create_algorithm,
+    decompose,
+)
+from repro.data import generate_dataset
+
+#: Exponential weights (newest first) used to extrapolate the next time row.
+EXTRAPOLATION_WEIGHTS = np.array([0.6, 0.25, 0.15])
+
+
+def forecast_next_unit(model) -> np.ndarray:
+    """Predict the next tensor unit as a dense (N1, N2) matrix."""
+    time_factor = model.factors[model.time_mode]
+    recent = time_factor[-len(EXTRAPOLATION_WEIGHTS):, :][::-1]
+    next_row = EXTRAPOLATION_WEIGHTS[: recent.shape[0]] @ recent
+    categorical = model.factors[: model.time_mode]
+    return np.einsum("ir,jr,r->ij", categorical[0], categorical[1], next_row)
+
+
+def actual_unit(window, unit_index: int) -> np.ndarray:
+    """Materialise one tensor unit of the window as a dense matrix."""
+    dense = np.zeros(window.shape[:-1])
+    for coordinate, value in window.unit_entries(unit_index):
+        dense[coordinate[:-1]] += value
+    return dense
+
+
+def main() -> None:
+    stream, spec = generate_dataset("divvy_bikes", scale=0.3)
+    window_config = WindowConfig(
+        mode_sizes=spec.mode_sizes,
+        window_length=spec.window_length,
+        period=spec.period,
+    )
+    processor = ContinuousStreamProcessor(stream, window_config)
+    initial = decompose(processor.window.tensor, rank=spec.rank, n_iterations=10, seed=0)
+    model = create_algorithm(
+        "sns_rnd_plus",
+        SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, nonnegative=True),
+    )
+    model.initialize(processor.window, initial.decomposition)
+
+    period = window_config.period
+    newest = window_config.window_length - 1
+    next_boundary = processor.start_time + period
+    pending_forecast: np.ndarray | None = None
+    naive_forecast: np.ndarray | None = None
+    forecast_errors: list[float] = []
+    naive_errors: list[float] = []
+
+    print("boundary | forecast RMSE | naive RMSE (repeat last unit)")
+    for event, delta in processor.events(max_events=20_000):
+        model.update(delta)
+        if event.time < next_boundary:
+            continue
+        # A period just completed: score the forecast made one period ago,
+        # then issue the forecast for the upcoming period.
+        truth = actual_unit(processor.window, newest)
+        if pending_forecast is not None and naive_forecast is not None:
+            forecast_rmse = float(np.sqrt(np.mean((pending_forecast - truth) ** 2)))
+            naive_rmse = float(np.sqrt(np.mean((naive_forecast - truth) ** 2)))
+            forecast_errors.append(forecast_rmse)
+            naive_errors.append(naive_rmse)
+            print(
+                f"{next_boundary:8.0f} | {forecast_rmse:13.4f} | {naive_rmse:10.4f}"
+            )
+        pending_forecast = forecast_next_unit(model)
+        naive_forecast = truth
+        next_boundary += period
+
+    if forecast_errors:
+        print(
+            f"\nmean RMSE — factor forecast: {np.mean(forecast_errors):.4f}, "
+            f"naive repeat: {np.mean(naive_errors):.4f}"
+        )
+        print(
+            "the factor-based forecast smooths the noisy per-pair counts using "
+            "the low-rank structure maintained continuously by SliceNStitch."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Real-time anomaly detection on a taxi-like traffic stream (Section VI-G).
+
+The scenario the paper motivates: a city traffic operator wants to notice a
+suspicious burst of trips between two zones the moment it happens, not at the
+end of the hour.  This example:
+
+1. generates a NY-Taxi-like synthetic stream,
+2. injects 20 abnormally large trips (5x the largest normal trip count),
+3. streams the corrupted data through SNS+_RND, scoring every arriving trip
+   by the Z-score of its reconstruction error *before* the model adapts,
+4. reports which injected anomalies landed in the top-20 scores and how long
+   detection took, and contrasts it with a once-per-period detector.
+
+Run with::
+
+    python examples/traffic_anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ContinuousStreamProcessor,
+    EventKind,
+    SNSConfig,
+    WindowConfig,
+    create_algorithm,
+    decompose,
+)
+from repro.anomaly import ZScoreDetector, inject_anomalies
+from repro.data import generate_dataset
+
+
+def main() -> None:
+    # 1. Clean synthetic stream shaped like the New York Taxi dataset.
+    clean_stream, spec = generate_dataset("nyc_taxi", scale=0.2)
+    window_config = WindowConfig(
+        mode_sizes=spec.mode_sizes,
+        window_length=spec.window_length,
+        period=spec.period,
+    )
+    start_time = clean_stream.start_time + window_config.span
+    replay_end = start_time + 4 * window_config.period
+
+    # 2. Inject 20 anomalies of 5x the largest normal value.
+    stream, anomalies = inject_anomalies(
+        clean_stream,
+        n_anomalies=20,
+        magnitude_factor=5.0,
+        start_time=start_time,
+        end_time=replay_end - window_config.period,
+        rng=np.random.default_rng(7),
+    )
+    print(f"injected {len(anomalies)} anomalies of value {anomalies[0].value:.0f}")
+
+    # 3. Initialise and stream through SNS+_RND, scoring arrivals on the fly.
+    processor = ContinuousStreamProcessor(stream, window_config, start_time=start_time)
+    initial = decompose(processor.window.tensor, rank=spec.rank, n_iterations=10, seed=0)
+    model = create_algorithm(
+        "sns_rnd_plus", SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta)
+    )
+    model.initialize(processor.window, initial.decomposition)
+
+    detector = ZScoreDetector(warmup=50)
+    for event, delta in processor.events(end_time=replay_end):
+        if event.kind is EventKind.ARRIVAL:
+            coordinate = delta.entries[0][0]
+            observed = processor.window.tensor.get(coordinate)
+            predicted = model.reconstruction_at(coordinate)
+            detector.observe(
+                coordinate, observed - predicted,
+                event_time=event.record.time, detection_time=event.time,
+            )
+        model.update(delta)
+
+    # 4. Evaluate the top-20 scores against the injected ground truth.
+    truth_by_indices = {anomaly.indices: anomaly for anomaly in anomalies}
+    hits = 0
+    print("\ntop-20 anomaly scores (z-score, source, destination, time):")
+    for score in detector.top_k(20):
+        categorical = score.coordinate[:-1]
+        anomaly = truth_by_indices.get(categorical)
+        is_hit = anomaly is not None and abs(anomaly.time - score.event_time) < 1e-6
+        hits += int(is_hit)
+        marker = "ANOMALY" if is_hit else "       "
+        print(
+            f"  z = {score.z_score:7.1f}  ({categorical[0]:3d} -> {categorical[1]:3d})"
+            f"  t = {score.event_time:8.0f}  {marker}"
+        )
+    print(f"\nprecision @ top-20: {hits / 20:.2f}")
+    print(
+        "detection delay: every flagged arrival was scored the instant it "
+        "occurred; a once-per-period detector would have waited up to "
+        f"{window_config.period:.0f} time units for the next boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

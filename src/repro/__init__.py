@@ -1,0 +1,102 @@
+"""SliceNStitch: continuous CP decomposition of sparse tensor streams.
+
+A from-scratch reproduction of Kwon et al., "SliceNStitch: Continuous CP
+Decomposition of Sparse Tensor Streams" (ICDE 2021).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (
+...     SNSConfig, WindowConfig, ContinuousStreamProcessor,
+...     create_algorithm, decompose,
+... )
+>>> from repro.data import generate_synthetic_stream
+>>> stream = generate_synthetic_stream(
+...     mode_sizes=(20, 20), rank=3, n_records=2000, period=60.0, seed=0)
+>>> config = WindowConfig(mode_sizes=(20, 20), window_length=5, period=60.0)
+>>> processor = ContinuousStreamProcessor(stream, config)
+>>> start = decompose(processor.window.tensor, rank=5, n_iterations=10)
+>>> model = create_algorithm("sns_rnd_plus", SNSConfig(rank=5))
+>>> model.initialize(processor.window, start.decomposition)
+>>> for event, delta in processor.events(max_events=500):
+...     model.update(delta)
+>>> round(model.fitness(), 3)  # doctest: +SKIP
+0.9
+"""
+
+from repro.version import __version__
+from repro.exceptions import (
+    ConfigurationError,
+    DataGenerationError,
+    IndexOutOfBoundsError,
+    NotFittedError,
+    RankError,
+    ReproError,
+    ShapeError,
+    StreamOrderError,
+    UnknownAlgorithmError,
+)
+from repro.tensor import KruskalTensor, SparseTensor
+from repro.stream import (
+    ContinuousStreamProcessor,
+    Delta,
+    EventKind,
+    MultiAspectStream,
+    StreamRecord,
+    TensorWindow,
+    WindowConfig,
+)
+from repro.als import ALS, ALSConfig, ALSResult, decompose
+from repro.core import (
+    ALGORITHMS,
+    ContinuousCPD,
+    SNSConfig,
+    SNSMat,
+    SNSRnd,
+    SNSRndPlus,
+    SNSVec,
+    SNSVecPlus,
+    available_algorithms,
+    create_algorithm,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ShapeError",
+    "IndexOutOfBoundsError",
+    "RankError",
+    "StreamOrderError",
+    "ConfigurationError",
+    "NotFittedError",
+    "UnknownAlgorithmError",
+    "DataGenerationError",
+    # tensors
+    "SparseTensor",
+    "KruskalTensor",
+    # streams
+    "MultiAspectStream",
+    "StreamRecord",
+    "EventKind",
+    "Delta",
+    "TensorWindow",
+    "WindowConfig",
+    "ContinuousStreamProcessor",
+    # batch ALS
+    "ALS",
+    "ALSConfig",
+    "ALSResult",
+    "decompose",
+    # SliceNStitch
+    "ContinuousCPD",
+    "SNSConfig",
+    "SNSMat",
+    "SNSVec",
+    "SNSRnd",
+    "SNSVecPlus",
+    "SNSRndPlus",
+    "ALGORITHMS",
+    "available_algorithms",
+    "create_algorithm",
+]

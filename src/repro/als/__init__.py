@@ -1,0 +1,23 @@
+"""Batch CP decomposition via Alternating Least Squares (Section II).
+
+ALS plays three roles in the reproduction, as it does in the paper:
+
+* the standard offline algorithm against which *fitness* is normalised
+  ("relative fitness", Section VI-A),
+* a conventional-CPD baseline evaluated once per period,
+* the initialiser of every streaming algorithm (Section VI-A: "we initialized
+  factor matrices using ALS on the initial tensor window").
+"""
+
+from repro.als.als import ALS, ALSConfig, ALSResult, decompose
+from repro.als.initialization import initialize_factors
+from repro.als.mttkrp import mttkrp
+
+__all__ = [
+    "ALS",
+    "ALSConfig",
+    "ALSResult",
+    "decompose",
+    "initialize_factors",
+    "mttkrp",
+]

@@ -1,0 +1,92 @@
+"""Matricized-tensor times Khatri-Rao product (MTTKRP) for sparse tensors.
+
+The MTTKRP ``X_(m) (KR_{n != m} A(n))`` is the workhorse of ALS (Eq. 4) and of
+the SliceNStitch row updates (Eqs. 9 and 12).  For a sparse tensor it reduces
+to a sum over non-zeros of the entry value times the Hadamard product of the
+other modes' factor rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.sparse import SparseTensor
+
+
+def mttkrp(
+    tensor: SparseTensor, factors: Sequence[np.ndarray], mode: int
+) -> np.ndarray:
+    """Return ``X_(mode) (KR_{n != mode} A(n))`` as an ``(N_mode, R)`` array."""
+    if len(factors) != tensor.order:
+        raise ShapeError(
+            f"{len(factors)} factor matrices for an order-{tensor.order} tensor"
+        )
+    if not 0 <= mode < tensor.order:
+        raise ShapeError(f"mode {mode} out of range for order {tensor.order}")
+    rank = factors[0].shape[1]
+    result = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+    indices, values = tensor.to_coo_arrays()
+    if values.size == 0:
+        return result
+    product = np.broadcast_to(values[:, None], (values.size, rank)).copy()
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[indices[:, other_mode], :]
+    np.add.at(result, indices[:, mode], product)
+    return result
+
+
+def mttkrp_row(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    index: int,
+    extra_entries: Sequence[tuple[tuple[int, ...], float]] = (),
+) -> np.ndarray:
+    """Single row ``X_(mode)(index, :) (KR_{n != mode} A(n))`` of the MTTKRP.
+
+    Only the non-zeros whose ``mode``-th coordinate equals ``index`` are
+    visited — this is the ``Omega(m)_{i_m}`` sum of Eqs. (12) and (21).
+    ``extra_entries`` lets callers fold in the (at most two) entries of a
+    delta ``ΔX`` that may not be stored in ``tensor`` yet; entries whose
+    ``mode``-th coordinate differs from ``index`` are ignored.
+    """
+    rank = factors[0].shape[1]
+    coordinates: list[tuple[int, ...]] = []
+    values: list[float] = []
+    for coordinate, value in tensor.mode_slice(mode, index):
+        coordinates.append(coordinate)
+        values.append(value)
+    for coordinate, value in extra_entries:
+        if coordinate[mode] != index:
+            continue
+        coordinates.append(tuple(coordinate))
+        values.append(value)
+    if not coordinates:
+        return np.zeros(rank, dtype=np.float64)
+    index_array = np.asarray(coordinates, dtype=np.int64)
+    product = np.broadcast_to(
+        np.asarray(values, dtype=np.float64)[:, None], (len(values), rank)
+    ).copy()
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[index_array[:, other_mode], :]
+    return product.sum(axis=0)
+
+
+def _other_rows_product(
+    factors: Sequence[np.ndarray], mode: int, coordinate: Sequence[int]
+) -> np.ndarray:
+    """Hadamard product of the other modes' factor rows at ``coordinate``."""
+    rank = factors[0].shape[1]
+    product = np.ones(rank, dtype=np.float64)
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[coordinate[other_mode], :]
+    return product

@@ -1,0 +1,18 @@
+"""Anomaly detection on tensor streams (Section VI-G of the paper).
+
+The application study injects abnormally large changes into a stream and asks
+each method to flag them by the Z-score of its reconstruction error on the
+newest tensor unit.  :mod:`repro.anomaly.injection` creates the corrupted
+stream (and remembers the ground truth); :mod:`repro.anomaly.detector`
+maintains the running error statistics and the top-K scoreboard.
+"""
+
+from repro.anomaly.injection import InjectedAnomaly, inject_anomalies
+from repro.anomaly.detector import AnomalyScore, ZScoreDetector
+
+__all__ = [
+    "InjectedAnomaly",
+    "inject_anomalies",
+    "AnomalyScore",
+    "ZScoreDetector",
+]

@@ -1,0 +1,145 @@
+"""Z-score anomaly detector over reconstruction errors (Section VI-G).
+
+The detector keeps running statistics (mean and variance, via Welford's
+algorithm) of the reconstruction errors it observes, and converts each new
+error into a Z-score.  A fixed-size scoreboard of the highest scores supports
+the "precision at top-20" evaluation, and the recorded detection times
+support the "time gap between occurrence and detection" metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+Coordinate = tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AnomalyScore:
+    """One scored observation."""
+
+    coordinate: Coordinate
+    z_score: float
+    error: float
+    event_time: float
+    detection_time: float
+
+    @property
+    def detection_delay(self) -> float:
+        """Seconds between the observation's event time and its detection."""
+        return self.detection_time - self.event_time
+
+
+class ZScoreDetector:
+    """Online Z-score scoring of reconstruction errors.
+
+    Parameters
+    ----------
+    warmup:
+        Number of observations used purely to establish the error statistics
+        before any score is emitted (scores during warm-up are 0.0).
+    """
+
+    def __init__(self, warmup: int = 30) -> None:
+        self._warmup = max(int(warmup), 1)
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._scores: list[AnomalyScore] = []
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean of observed errors."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Running standard deviation of observed errors."""
+        if self._count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self._count - 1))
+
+    @property
+    def scores(self) -> list[AnomalyScore]:
+        """Every score emitted so far (in observation order)."""
+        return list(self._scores)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        coordinate: Coordinate,
+        error: float,
+        event_time: float,
+        detection_time: float | None = None,
+    ) -> AnomalyScore:
+        """Score one reconstruction error and fold it into the statistics.
+
+        The Z-score is computed against the statistics *before* the new
+        observation is added, so a huge anomaly does not dilute its own score.
+        """
+        error = abs(float(error))
+        if self._count >= self._warmup and self.std > 0.0:
+            z_score = (error - self._mean) / self.std
+        else:
+            z_score = 0.0
+        score = AnomalyScore(
+            coordinate=tuple(int(i) for i in coordinate),
+            z_score=z_score,
+            error=error,
+            event_time=float(event_time),
+            detection_time=float(
+                event_time if detection_time is None else detection_time
+            ),
+        )
+        self._scores.append(score)
+        self._update_statistics(error)
+        return score
+
+    def _update_statistics(self, error: float) -> None:
+        self._count += 1
+        delta = error - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (error - self._mean)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def top_k(self, k: int) -> list[AnomalyScore]:
+        """The ``k`` highest-scoring observations (ties broken by error size)."""
+        return sorted(
+            self._scores, key=lambda s: (s.z_score, s.error), reverse=True
+        )[: int(k)]
+
+    def precision_at_k(
+        self, k: int, true_coordinates: set[Coordinate]
+    ) -> float:
+        """Fraction of the top-``k`` scores whose coordinate is a true anomaly."""
+        top = self.top_k(k)
+        if not top:
+            return 0.0
+        hits = sum(1 for score in top if score.coordinate in true_coordinates)
+        return hits / len(top)
+
+    def mean_detection_delay(
+        self, k: int, true_coordinates: set[Coordinate]
+    ) -> float:
+        """Mean detection delay of the true anomalies inside the top-``k``."""
+        delays = [
+            score.detection_delay
+            for score in self.top_k(k)
+            if score.coordinate in true_coordinates
+        ]
+        if not delays:
+            return float("nan")
+        return float(sum(delays) / len(delays))

@@ -1,0 +1,44 @@
+"""Conventional-CPD baselines used in the paper's evaluation (Section VI-A).
+
+All baselines operate on the tensor window but, unlike SliceNStitch, they
+update their factor matrices only **once per period** ``T`` — the defining
+limitation the paper's continuous model removes.  Following the paper, each
+baseline was "modified ... to decompose the tensor window" rather than the
+ever-growing full tensor.
+
+* :class:`~repro.baselines.periodic_als.PeriodicALS` — batch ALS re-run on the
+  window every period; also the reference for *relative fitness*.
+* :class:`~repro.baselines.online_scp.OnlineSCP` — Zhou et al., "Online CP
+  decomposition for sparse tensors" (ICDM 2018): incremental auxiliary
+  matrices per non-time mode, adapted to a sliding window by subtracting the
+  contribution of the slice that leaves the window.
+* :class:`~repro.baselines.cp_stream.CPStream` — Smith et al., "Streaming
+  tensor factorization for infinite data sources" (SDM 2018): a forgetting
+  factor weighs historical information when the non-time factors are updated.
+* :class:`~repro.baselines.necpd.NeCPD` — Anaissi et al.: stochastic gradient
+  descent with Nesterov acceleration, ``n`` passes over the window's
+  non-zeros per period.
+"""
+
+from repro.baselines.base import BaselineConfig, PeriodicCPD
+from repro.baselines.periodic_als import PeriodicALS
+from repro.baselines.online_scp import OnlineSCP
+from repro.baselines.cp_stream import CPStream
+from repro.baselines.necpd import NeCPD
+from repro.baselines.registry import (
+    BASELINES,
+    available_baselines,
+    create_baseline,
+)
+
+__all__ = [
+    "BaselineConfig",
+    "PeriodicCPD",
+    "PeriodicALS",
+    "OnlineSCP",
+    "CPStream",
+    "NeCPD",
+    "BASELINES",
+    "available_baselines",
+    "create_baseline",
+]

@@ -1,0 +1,165 @@
+"""OnlineSCP baseline (Zhou, Erfani, Bailey — ICDM 2018), window-adapted.
+
+OnlineSCP incrementally maintains, for every non-time mode ``m``, the two
+auxiliary matrices that define the least-squares solution of ``A(m)``:
+
+* ``P(m)`` — the accumulated MTTKRP contributions of the slices seen so far,
+* ``Q(m)`` — the accumulated Hadamard-of-Grams weights of those slices,
+
+so that ``A(m) = P(m) Q(m)^+`` after each new slice, and the time factor
+simply grows by one row per slice (the least-squares projection of the new
+slice onto the current non-time factors).
+
+As in the paper's evaluation, the baseline here decomposes the **tensor
+window** rather than the full history: the per-slice contributions are kept
+in a deque of length ``W`` and the contribution of the slice that leaves the
+window is subtracted from ``P(m)`` and ``Q(m)``.  Contributions are computed
+with the factor matrices current at the time the slice entered — the same
+"stale auxiliary" approximation the original incremental method makes.
+
+The update fires once per period, on the unit that has just been completed
+(the newest window unit at a period boundary).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, PeriodicCPD
+from repro.tensor.products import hadamard_all
+
+Coordinate = tuple[int, ...]
+
+
+@dataclasses.dataclass(slots=True)
+class _SliceContribution:
+    """Per-slice auxiliary contributions kept while the slice is in the window."""
+
+    time_row: np.ndarray
+    mttkrp: list[np.ndarray]  # one (N_m, R) array per non-time mode
+    gram_weight: list[np.ndarray]  # one (R, R) array per non-time mode
+
+
+class OnlineSCP(PeriodicCPD):
+    """Sliding-window OnlineSCP: closed-form updates from accumulated auxiliaries."""
+
+    name = "online_scp"
+
+    def __init__(self, config: BaselineConfig) -> None:
+        super().__init__(config)
+        self._contributions: collections.deque[_SliceContribution] = collections.deque()
+        self._p_matrices: list[np.ndarray] = []
+        self._q_matrices: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def _post_initialize(self) -> None:
+        """Seed the auxiliaries from the initial window and factors."""
+        window = self.window
+        n_categorical = self.order - 1
+        self._p_matrices = [
+            np.zeros_like(self._factors[m]) for m in range(n_categorical)
+        ]
+        self._q_matrices = [
+            np.zeros((self.rank, self.rank)) for _ in range(n_categorical)
+        ]
+        self._contributions.clear()
+        for unit in range(window.window_length):
+            entries = list(window.unit_entries(unit))
+            time_row = self._factors[self.time_mode][unit, :].copy()
+            contribution = self._build_contribution(entries, time_row)
+            self._push_contribution(contribution)
+
+    # ------------------------------------------------------------------
+    # Once-per-period update
+    # ------------------------------------------------------------------
+    def _update_period(self) -> None:
+        window = self.window
+        newest = window.window_length - 1
+        entries = list(window.unit_entries(newest))
+        # 1. Project the newly completed slice onto the current non-time
+        #    factors to obtain its time-factor row.
+        time_row = self._solve_time_row(entries)
+        # 2. Add its contribution, dropping the slice that left the window.
+        contribution = self._build_contribution(entries, time_row)
+        self._push_contribution(contribution)
+        while len(self._contributions) > window.window_length:
+            self._pop_contribution()
+        # 3. Closed-form update of every non-time factor from the auxiliaries.
+        for mode in range(self.order - 1):
+            self._factors[mode] = self._solve(
+                self._q_matrices[mode], self._p_matrices[mode]
+            )
+        # 4. The time factor is the stack of the in-window slices' rows.
+        time_factor = np.zeros_like(self._factors[self.time_mode])
+        offset = window.window_length - len(self._contributions)
+        for position, stored in enumerate(self._contributions):
+            time_factor[offset + position, :] = stored.time_row
+        self._factors[self.time_mode] = time_factor
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _solve_time_row(self, entries: list[tuple[Coordinate, float]]) -> np.ndarray:
+        numerator = np.zeros(self.rank, dtype=np.float64)
+        for coordinate, value in entries:
+            numerator += value * self._categorical_product(coordinate)
+        grams = hadamard_all(
+            [
+                self._factors[m].T @ self._factors[m]
+                for m in range(self.order - 1)
+            ]
+        )
+        return self._solve(grams, numerator[None, :])[0]
+
+    def _categorical_product(
+        self, coordinate: Coordinate, skip: int | None = None
+    ) -> np.ndarray:
+        """Hadamard product of the categorical factor rows at ``coordinate``."""
+        product = np.ones(self.rank, dtype=np.float64)
+        for mode in range(self.order - 1):
+            if mode == skip:
+                continue
+            product *= self._factors[mode][coordinate[mode], :]
+        return product
+
+    def _build_contribution(
+        self, entries: list[tuple[Coordinate, float]], time_row: np.ndarray
+    ) -> _SliceContribution:
+        n_categorical = self.order - 1
+        mttkrp = [np.zeros_like(self._factors[m]) for m in range(n_categorical)]
+        for coordinate, value in entries:
+            for mode in range(n_categorical):
+                partial = self._categorical_product(coordinate, skip=mode) * time_row
+                mttkrp[mode][coordinate[mode], :] += value * partial
+        gram_weight = []
+        time_outer = np.outer(time_row, time_row)
+        for mode in range(n_categorical):
+            other_grams = [
+                self._factors[m].T @ self._factors[m]
+                for m in range(n_categorical)
+                if m != mode
+            ]
+            base = hadamard_all(other_grams) if other_grams else np.ones(
+                (self.rank, self.rank)
+            )
+            gram_weight.append(base * time_outer)
+        return _SliceContribution(
+            time_row=time_row.copy(), mttkrp=mttkrp, gram_weight=gram_weight
+        )
+
+    def _push_contribution(self, contribution: _SliceContribution) -> None:
+        self._contributions.append(contribution)
+        for mode in range(self.order - 1):
+            self._p_matrices[mode] += contribution.mttkrp[mode]
+            self._q_matrices[mode] += contribution.gram_weight[mode]
+
+    def _pop_contribution(self) -> None:
+        expired = self._contributions.popleft()
+        for mode in range(self.order - 1):
+            self._p_matrices[mode] -= expired.mttkrp[mode]
+            self._q_matrices[mode] -= expired.gram_weight[mode]

@@ -1,0 +1,135 @@
+"""Command-line interface: regenerate any experiment from a terminal.
+
+Examples
+--------
+::
+
+    python -m repro.cli fig4 --dataset chicago_crime --max-events 2000
+    python -m repro.cli fig5 --max-events 1500
+    python -m repro.cli table2
+    slicenstitch fig9 --dataset nyc_taxi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.data.datasets import DATASETS, PAPER_DATASETS
+from repro.experiments.anomaly_experiment import (
+    format_anomaly_experiment,
+    run_anomaly_experiment,
+)
+from repro.experiments.config import ExperimentSettings, table_iii_rows
+from repro.experiments.eta_sweep import format_eta_sweep, run_eta_sweep
+from repro.experiments.fitness_over_time import (
+    format_fitness_over_time,
+    run_fitness_over_time,
+)
+from repro.experiments.granularity import format_granularity, run_granularity
+from repro.experiments.reporting import format_table
+from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.speed_fitness import format_speed_fitness, run_speed_fitness
+from repro.experiments.theta_sweep import format_theta_sweep, run_theta_sweep
+
+EXPERIMENTS = (
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "table3",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="slicenstitch",
+        description="Reproduce the SliceNStitch (ICDE 2021) experiments.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="experiment to run")
+    parser.add_argument(
+        "--dataset",
+        default="nyc_taxi",
+        choices=sorted(DATASETS),
+        help="synthetic dataset to use (single-dataset experiments)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=2000, help="events replayed after warm-up"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.3, help="dataset size multiplier"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        dataset=args.dataset,
+        scale=args.scale,
+        max_events=args.max_events,
+        seed=args.seed,
+    )
+
+
+def run(argv: Sequence[str] | None = None) -> str:
+    """Run the selected experiment and return its text report."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "fig1":
+        return format_granularity(run_granularity(_settings(args)))
+    if args.experiment == "fig4":
+        return format_fitness_over_time(run_fitness_over_time(_settings(args)))
+    if args.experiment == "fig5":
+        overrides = {
+            "scale": args.scale,
+            "max_events": args.max_events,
+            "seed": args.seed,
+        }
+        return format_speed_fitness(run_speed_fitness(settings_overrides=overrides))
+    if args.experiment == "fig6":
+        return format_scalability(run_scalability(_settings(args)))
+    if args.experiment == "fig7":
+        return format_theta_sweep(run_theta_sweep(_settings(args)))
+    if args.experiment == "fig8":
+        return format_eta_sweep(run_eta_sweep(_settings(args)))
+    if args.experiment == "fig9":
+        return format_anomaly_experiment(run_anomaly_experiment(_settings(args)))
+    if args.experiment == "table2":
+        rows = [
+            (
+                info.name,
+                info.description,
+                "x".join(str(n) for n in info.shape),
+                info.n_nonzeros,
+                info.density,
+            )
+            for info in PAPER_DATASETS.values()
+        ]
+        return format_table(
+            ("name", "description", "size", "# non-zeros", "density"),
+            rows,
+            title="Table II — real datasets of the paper (metadata only)",
+        )
+    if args.experiment == "table3":
+        return format_table(
+            ("dataset", "R", "W", "T (period)", "theta", "eta"),
+            table_iii_rows(),
+            title="Table III — default hyper-parameters (synthetic equivalents)",
+        )
+    raise AssertionError(f"unhandled experiment {args.experiment}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    print(run(argv))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""SliceNStitch: online CP decomposition in the continuous tensor model.
+
+This package contains the paper's primary contribution — the family of online
+update algorithms of Section V:
+
+* :class:`~repro.core.sns_mat.SNSMat` — one ALS sweep per event (Algorithm 2),
+* :class:`~repro.core.sns_vec.SNSVec` — row-wise least-squares updates
+  (Algorithms 3-4, Eqs. 9/12/13),
+* :class:`~repro.core.sns_rnd.SNSRnd` — sampled row updates bounded by the
+  threshold ``θ`` (Eqs. 16/17),
+* :class:`~repro.core.sns_vec_plus.SNSVecPlus` and
+  :class:`~repro.core.sns_rnd_plus.SNSRndPlus` — coordinate-descent updates
+  with clipping at ``η`` (Algorithm 5, Eqs. 20-26), the paper's recommended
+  stable variants.
+
+All algorithms share the :class:`~repro.core.base.ContinuousCPD` interface:
+``initialize`` with a window and starting factors, then ``update`` once per
+window event (arrival / shift / expiry).
+"""
+
+from repro.core.base import ContinuousCPD, SNSConfig
+from repro.core.sns_mat import SNSMat
+from repro.core.sns_vec import SNSVec
+from repro.core.sns_rnd import SNSRnd
+from repro.core.sns_vec_plus import SNSVecPlus
+from repro.core.sns_rnd_plus import SNSRndPlus
+from repro.core.registry import ALGORITHMS, available_algorithms, create_algorithm
+
+__all__ = [
+    "ContinuousCPD",
+    "SNSConfig",
+    "SNSMat",
+    "SNSVec",
+    "SNSRnd",
+    "SNSVecPlus",
+    "SNSRndPlus",
+    "ALGORITHMS",
+    "available_algorithms",
+    "create_algorithm",
+]

@@ -1,0 +1,330 @@
+"""Shared infrastructure of the SliceNStitch algorithm family.
+
+Every algorithm in :mod:`repro.core` follows the same life cycle:
+
+1. ``initialize(window, factors)`` — adopt the current tensor window and a
+   starting CP decomposition (in the paper and in our experiments, the result
+   of batch ALS on the initial window), and build the Gram matrices
+   ``Q(m) = A(m)'A(m)`` that all update rules rely on.
+2. ``update(delta)`` — react to one window event.  The caller (normally
+   :class:`repro.stream.processor.ContinuousStreamProcessor` via the
+   experiment runner) applies the delta to the window *before* calling
+   ``update``, so ``self.window.tensor`` always equals the paper's
+   ``X + ΔX`` while ``delta`` carries ``ΔX`` itself.
+
+The base class also centralises the bookkeeping helpers shared by several
+variants: rank-one Gram updates (Eq. 13 / Eqs. 24-25), previous-Gram updates
+(Eq. 17 / Eq. 26), pseudo-inverses of Hadamard-of-Gram matrices, and the
+fitness computation used by the evaluation.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError, RankError, ShapeError
+from repro.stream.deltas import Delta
+from repro.stream.window import TensorWindow
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.products import hadamard_all
+from repro.tensor.sparse import SparseTensor
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SNSConfig:
+    """Hyper-parameters shared by the SliceNStitch algorithms (Table III).
+
+    Attributes
+    ----------
+    rank:
+        CP rank ``R``.
+    theta:
+        Sampling threshold ``θ`` used by the randomised variants
+        (``SNSRnd`` / ``SNSRndPlus``); ignored by the others.
+    eta:
+        Clipping threshold ``η`` used by the stable variants
+        (``SNSVecPlus`` / ``SNSRndPlus``); ignored by the others.
+    regularization:
+        Small Tikhonov term added before pseudo-inverting Hadamard-of-Gram
+        matrices.  The paper's C++ implementation relies on exact
+        pseudo-inverses; a tiny ridge keeps float64 pinv well-behaved without
+        changing results materially.
+    nonnegative:
+        Extension beyond the paper: when True, the coordinate-descent variants
+        (``SNSVecPlus`` / ``SNSRndPlus``) project every updated entry onto
+        ``[0, η]`` instead of ``[-η, η]``, yielding a non-negative streaming
+        CP decomposition (the constraint CP-stream supports offline; listed as
+        future work for SliceNStitch).  Ignored by the other variants.
+    seed:
+        Seed for the sampling generator of the randomised variants.
+    """
+
+    rank: int
+    theta: int = 20
+    eta: float = 1000.0
+    regularization: float = 1e-12
+    nonnegative: bool = False
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.rank <= 0:
+            raise RankError(f"rank must be positive, got {self.rank}")
+        if self.theta <= 0:
+            raise ConfigurationError(f"theta must be positive, got {self.theta}")
+        if self.eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {self.eta}")
+        if self.regularization < 0:
+            raise ConfigurationError(
+                f"regularization must be >= 0, got {self.regularization}"
+            )
+
+
+class ContinuousCPD(abc.ABC):
+    """Base class for online CP decomposition in the continuous tensor model."""
+
+    #: Registry name, set by subclasses (e.g. ``"sns_rnd_plus"``).
+    name: str = "continuous_cpd"
+
+    def __init__(self, config: SNSConfig) -> None:
+        self._config = config
+        self._window: TensorWindow | None = None
+        self._factors: list[np.ndarray] = []
+        self._grams: list[np.ndarray] = []
+        self._rng = np.random.default_rng(config.seed)
+        self._n_updates = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SNSConfig:
+        """Hyper-parameters of this instance."""
+        return self._config
+
+    @property
+    def rank(self) -> int:
+        """CP rank ``R``."""
+        return self._config.rank
+
+    @property
+    def window(self) -> TensorWindow:
+        """The tensor window this model tracks."""
+        self._require_initialized()
+        return self._window  # type: ignore[return-value]
+
+    @property
+    def factors(self) -> list[np.ndarray]:
+        """The live factor matrices (mutated in place by updates)."""
+        self._require_initialized()
+        return self._factors
+
+    @property
+    def grams(self) -> list[np.ndarray]:
+        """The maintained Gram matrices ``A(m)'A(m)``."""
+        self._require_initialized()
+        return self._grams
+
+    @property
+    def n_updates(self) -> int:
+        """Number of ``update`` calls processed so far."""
+        return self._n_updates
+
+    @property
+    def order(self) -> int:
+        """Tensor order ``M`` of the tracked window."""
+        return self.window.order
+
+    @property
+    def time_mode(self) -> int:
+        """Index of the time mode (the last mode)."""
+        return self.window.order - 1
+
+    @property
+    def decomposition(self) -> KruskalTensor:
+        """Current factorization as a :class:`KruskalTensor`."""
+        self._require_initialized()
+        return KruskalTensor([factor.copy() for factor in self._factors])
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of model parameters (factor-matrix entries, Fig. 1d)."""
+        self._require_initialized()
+        return int(sum(factor.size for factor in self._factors))
+
+    def _require_initialized(self) -> None:
+        if self._window is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be initialized before use"
+            )
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+    def initialize(
+        self,
+        window: TensorWindow,
+        factors: Sequence[np.ndarray] | KruskalTensor,
+    ) -> None:
+        """Adopt the current window and starting factor matrices.
+
+        ``factors`` may be a plain sequence of matrices or a
+        :class:`KruskalTensor`; weights of a Kruskal tensor are absorbed into
+        the first factor so the streaming algorithms work with unweighted
+        factors, as in the paper.
+        """
+        if isinstance(factors, KruskalTensor):
+            factors = factors.absorb_weights().factors
+        factors = [np.array(f, dtype=np.float64, copy=True) for f in factors]
+        if len(factors) != window.order:
+            raise ShapeError(
+                f"{len(factors)} factor matrices for an order-{window.order} window"
+            )
+        for mode, factor in enumerate(factors):
+            expected = (window.shape[mode], self._config.rank)
+            if factor.shape != expected:
+                raise ShapeError(
+                    f"factor {mode} has shape {factor.shape}, expected {expected}"
+                )
+        self._window = window
+        self._factors = factors
+        self._grams = [factor.T @ factor for factor in factors]
+        self._n_updates = 0
+        self._post_initialize()
+
+    def _post_initialize(self) -> None:
+        """Hook for subclasses that maintain extra state (e.g. prev-Grams)."""
+
+    def update(self, delta: Delta) -> None:
+        """Update the factor matrices in response to one window event."""
+        self._require_initialized()
+        self._update(delta)
+        self._n_updates += 1
+
+    @abc.abstractmethod
+    def _update(self, delta: Delta) -> None:
+        """Algorithm-specific reaction to one event (window already updated)."""
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def fitness(self, tensor: SparseTensor | None = None) -> float:
+        """Fitness of the current factorization against ``tensor`` (default: the window)."""
+        target = self.window.tensor if tensor is None else tensor
+        return self.decomposition.fitness(target)
+
+    def reconstruction_at(self, coordinate: Sequence[int]) -> float:
+        """Reconstructed value at one window coordinate."""
+        self._require_initialized()
+        product = np.ones(self.rank, dtype=np.float64)
+        for factor, index in zip(self._factors, coordinate):
+            product *= factor[int(index), :]
+        return float(product.sum())
+
+    # ------------------------------------------------------------------
+    # Shared linear-algebra helpers
+    # ------------------------------------------------------------------
+    def _hadamard_of_grams(
+        self, skip: int, grams: Sequence[np.ndarray] | None = None
+    ) -> np.ndarray:
+        """``*_{n != skip} A(n)'A(n)`` from the maintained Gram matrices."""
+        source = self._grams if grams is None else grams
+        selected = [g for mode, g in enumerate(source) if mode != skip]
+        return hadamard_all(selected)
+
+    def _pinv(self, matrix: np.ndarray) -> np.ndarray:
+        """(Pseudo-)inverse with the configured ridge for numerical safety.
+
+        The plain inverse is attempted first because it is several times
+        faster for the small ``R x R`` matrices involved; singular matrices
+        fall back to the Moore-Penrose pseudo-inverse, matching the paper's
+        update rules.
+        """
+        if self._config.regularization > 0:
+            matrix = matrix + self._config.regularization * np.eye(matrix.shape[0])
+        try:
+            return np.linalg.inv(matrix)
+        except np.linalg.LinAlgError:
+            return np.linalg.pinv(matrix)
+
+    def _other_rows_product(
+        self, mode: int, coordinate: Sequence[int]
+    ) -> np.ndarray:
+        """Hadamard product of the other modes' factor rows at ``coordinate``."""
+        product = np.ones(self.rank, dtype=np.float64)
+        for other_mode, factor in enumerate(self._factors):
+            if other_mode == mode:
+                continue
+            product *= factor[int(coordinate[other_mode]), :]
+        return product
+
+    def _other_rows_product_batch(
+        self, mode: int, coordinates: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Row-wise Hadamard products of the other modes' factor rows.
+
+        Vectorised version of :meth:`_other_rows_product` for a batch of
+        coordinates; returns an ``(n, R)`` array.
+        """
+        index_array = np.asarray(coordinates, dtype=np.int64)
+        product = np.ones((index_array.shape[0], self.rank), dtype=np.float64)
+        for other_mode, factor in enumerate(self._factors):
+            if other_mode == mode:
+                continue
+            product *= factor[index_array[:, other_mode], :]
+        return product
+
+    def _reconstruction_batch(
+        self,
+        coordinates: Sequence[Sequence[int]],
+        row_overrides: dict[tuple[int, int], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Reconstructed values at a batch of coordinates.
+
+        ``row_overrides`` maps ``(mode, index)`` to a replacement factor row;
+        the randomised variants use it to evaluate the reconstruction with the
+        rows as they were at the start of the current event (``X̃`` built from
+        ``A_prev``).
+        """
+        index_array = np.asarray(coordinates, dtype=np.int64)
+        product = np.ones((index_array.shape[0], self.rank), dtype=np.float64)
+        for mode, factor in enumerate(self._factors):
+            rows = factor[index_array[:, mode], :]
+            if row_overrides:
+                overrides_for_mode = [
+                    (index, row)
+                    for (override_mode, index), row in row_overrides.items()
+                    if override_mode == mode
+                ]
+                if overrides_for_mode:
+                    rows = rows.copy()
+                    for index, row in overrides_for_mode:
+                        mask = index_array[:, mode] == index
+                        if mask.any():
+                            rows[mask] = row
+            product *= rows
+        return product.sum(axis=1)
+
+    def _update_gram(self, mode: int, old_row: np.ndarray, new_row: np.ndarray) -> None:
+        """Rank-one Gram maintenance: Eq. (13) (equivalently Eqs. 24-25)."""
+        self._grams[mode] += np.outer(new_row, new_row) - np.outer(old_row, old_row)
+
+    def _affected_rows(self, delta: Delta) -> list[tuple[int, int]]:
+        """Rows of factor matrices affected by ``delta``: (mode, index) pairs.
+
+        Ordered as in Algorithm 3: the affected time-mode rows first (the
+        subtraction's unit before the addition's unit), then one row per
+        categorical mode.
+        """
+        rows: list[tuple[int, int]] = []
+        seen_time: set[int] = set()
+        for time_index in delta.time_indices:
+            if time_index not in seen_time:
+                rows.append((self.time_mode, time_index))
+                seen_time.add(time_index)
+        for mode, index in enumerate(delta.categorical_indices):
+            rows.append((mode, index))
+        return rows

@@ -1,0 +1,33 @@
+"""Column normalisation of factor matrices (used by SNS_MAT, Algorithm 2).
+
+SNS_MAT keeps factor columns at unit L2 norm and stores the scales in a
+weight vector ``λ`` so the factor magnitudes stay balanced across modes; the
+cheaper variants skip this step (and the stable variants replace it with
+clipping), exactly as discussed in Section V-C of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_columns(factor: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(normalized_factor, column_norms)``.
+
+    Columns with zero norm are left untouched and reported with norm 1.0 so
+    that multiplying back by the norms is always the identity.
+    """
+    factor = np.asarray(factor, dtype=np.float64)
+    norms = np.linalg.norm(factor, axis=0)
+    safe_norms = np.where(norms > 0.0, norms, 1.0)
+    return factor / safe_norms, safe_norms
+
+
+def combine_weights(weight_vectors: list[np.ndarray]) -> np.ndarray:
+    """Combine per-mode column norms into a single weight vector ``λ``."""
+    if not weight_vectors:
+        raise ValueError("combine_weights needs at least one weight vector")
+    combined = np.ones_like(weight_vectors[0])
+    for weights in weight_vectors:
+        combined = combined * weights
+    return combined

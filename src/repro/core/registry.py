@@ -1,0 +1,55 @@
+"""Registry mapping algorithm names to SliceNStitch classes.
+
+The experiment harness, the CLI, and the benchmarks all refer to algorithms
+by their short names (``"sns_rnd_plus"`` etc.), mirroring the labels used in
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ContinuousCPD, SNSConfig
+from repro.core.sns_mat import SNSMat
+from repro.core.sns_rnd import SNSRnd
+from repro.core.sns_rnd_plus import SNSRndPlus
+from repro.core.sns_vec import SNSVec
+from repro.core.sns_vec_plus import SNSVecPlus
+from repro.exceptions import UnknownAlgorithmError
+
+#: Name -> class for every SliceNStitch variant.
+ALGORITHMS: dict[str, type[ContinuousCPD]] = {
+    SNSMat.name: SNSMat,
+    SNSVec.name: SNSVec,
+    SNSRnd.name: SNSRnd,
+    SNSVecPlus.name: SNSVecPlus,
+    SNSRndPlus.name: SNSRndPlus,
+}
+
+#: Display labels matching the paper's figures.
+DISPLAY_NAMES: dict[str, str] = {
+    "sns_mat": "SNS_MAT",
+    "sns_vec": "SNS_VEC",
+    "sns_rnd": "SNS_RND",
+    "sns_vec_plus": "SNS+_VEC",
+    "sns_rnd_plus": "SNS+_RND",
+}
+
+
+def available_algorithms() -> list[str]:
+    """Names of all registered SliceNStitch variants."""
+    return sorted(ALGORITHMS)
+
+
+def create_algorithm(name: str, config: SNSConfig) -> ContinuousCPD:
+    """Instantiate a SliceNStitch variant by name."""
+    try:
+        algorithm_class = ALGORITHMS[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return algorithm_class(config)
+
+
+def display_name(name: str) -> str:
+    """Paper-style label for an algorithm name (falls back to the raw name)."""
+    return DISPLAY_NAMES.get(name, name)

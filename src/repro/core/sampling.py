@@ -1,0 +1,126 @@
+"""Uniform coordinate sampling inside a tensor slice (used by SNS_RND / SNS+_RND).
+
+``SNS_RND`` bounds the per-row update cost by sampling ``θ`` coordinates of
+the window "while fixing the m-th mode index to i_m" (Algorithm 4, line 12),
+i.e. uniformly from the Cartesian product of the *other* modes' index ranges.
+Coordinates of the current delta are excluded, as footnote 2 of the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+Coordinate = tuple[int, ...]
+
+#: When the slice has at most this many cells the sampler enumerates it and
+#: uses ``Generator.choice`` without replacement; above it, rejection sampling
+#: is cheaper and collision-free sampling is practically guaranteed.
+_ENUMERATION_LIMIT = 100_000
+
+
+def sample_slice_coordinates(
+    shape: Sequence[int],
+    mode: int,
+    index: int,
+    count: int,
+    rng: np.random.Generator,
+    exclude: Sequence[Coordinate] = (),
+) -> list[Coordinate]:
+    """Sample up to ``count`` distinct coordinates with ``coordinate[mode] == index``.
+
+    Coordinates listed in ``exclude`` are never returned.  If the slice holds
+    fewer than ``count`` eligible cells, all of them are returned.
+    """
+    shape = tuple(int(n) for n in shape)
+    if not 0 <= mode < len(shape):
+        raise ShapeError(f"mode {mode} out of range for shape {shape}")
+    if not 0 <= index < shape[mode]:
+        raise ShapeError(f"index {index} out of range for mode {mode} ({shape[mode]})")
+    if count <= 0:
+        return []
+    other_modes = [m for m in range(len(shape)) if m != mode]
+    other_sizes = [shape[m] for m in other_modes]
+    slice_cells = int(np.prod(other_sizes, dtype=np.int64))
+    excluded = set(exclude)
+    eligible = slice_cells - sum(1 for c in excluded if c[mode] == index)
+    if eligible <= 0:
+        return []
+    count = min(count, eligible)
+    if slice_cells <= _ENUMERATION_LIMIT:
+        return _sample_by_enumeration(
+            shape, mode, index, other_modes, other_sizes, count, rng, excluded
+        )
+    return _sample_by_rejection(
+        shape, mode, index, other_modes, other_sizes, count, rng, excluded
+    )
+
+
+def _unrank(
+    flat: int, mode: int, index: int, other_modes: list[int], other_sizes: list[int]
+) -> Coordinate:
+    """Convert a flat offset over the other modes into a full coordinate."""
+    coordinate = [0] * (len(other_modes) + 1)
+    coordinate[mode] = index
+    remainder = int(flat)
+    for other_mode, size in zip(other_modes, other_sizes):
+        coordinate[other_mode] = remainder % size
+        remainder //= size
+    return tuple(coordinate)
+
+
+def _sample_by_enumeration(
+    shape: Sequence[int],
+    mode: int,
+    index: int,
+    other_modes: list[int],
+    other_sizes: list[int],
+    count: int,
+    rng: np.random.Generator,
+    excluded: set[Coordinate],
+) -> list[Coordinate]:
+    slice_cells = int(np.prod(other_sizes, dtype=np.int64))
+    # Oversample slightly so exclusions rarely force a second draw.
+    draw = min(slice_cells, count + len(excluded))
+    flats = rng.choice(slice_cells, size=draw, replace=False)
+    coordinates = []
+    for flat in flats:
+        coordinate = _unrank(int(flat), mode, index, other_modes, other_sizes)
+        if coordinate in excluded:
+            continue
+        coordinates.append(coordinate)
+        if len(coordinates) == count:
+            break
+    return coordinates
+
+
+def _sample_by_rejection(
+    shape: Sequence[int],
+    mode: int,
+    index: int,
+    other_modes: list[int],
+    other_sizes: list[int],
+    count: int,
+    rng: np.random.Generator,
+    excluded: set[Coordinate],
+) -> list[Coordinate]:
+    chosen: set[Coordinate] = set()
+    coordinates: list[Coordinate] = []
+    max_attempts = 50 * count + 100
+    attempts = 0
+    while len(coordinates) < count and attempts < max_attempts:
+        attempts += 1
+        coordinate = [0] * (len(other_modes) + 1)
+        coordinate[mode] = index
+        for other_mode, size in zip(other_modes, other_sizes):
+            coordinate[other_mode] = int(rng.integers(0, size))
+        candidate = tuple(coordinate)
+        if candidate in excluded or candidate in chosen:
+            continue
+        chosen.add(candidate)
+        coordinates.append(candidate)
+    return coordinates

@@ -1,0 +1,112 @@
+"""SNS_RND — sampled row updates bounded by the threshold ``θ`` (Algorithm 4).
+
+SNS_RND follows the same outline as SNS_VEC but caps the number of window
+entries visited per row update at the user threshold ``θ``:
+
+* when ``deg(m, i_m) <= θ`` the exact rule of Eq. (12) is used;
+* otherwise ``θ`` coordinates of the slice are sampled uniformly, the window
+  is approximated by ``X̃ + X̄`` (reconstruction plus sampled residuals), and
+  the row is updated with Eq. (16), which requires the previous-Gram matrices
+  ``A_prev' A`` maintained by Eq. (17).
+
+With ``M``, ``R``, ``θ`` constant, each update takes constant time
+(Theorem 5).  Like SNS_VEC it does not normalise or clip and can be unstable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.als.mttkrp import mttkrp_row
+from repro.core.base import ContinuousCPD
+from repro.core.sampling import sample_slice_coordinates
+from repro.stream.deltas import Delta
+
+Coordinate = tuple[int, ...]
+
+
+class SNSRnd(ContinuousCPD):
+    """Randomised row-wise online CP updates with per-update cost ``O(θ)``."""
+
+    name = "sns_rnd"
+
+    def _post_initialize(self) -> None:
+        # U(m) = A_prev(m)' A(m); refreshed to the plain Grams at every event.
+        self._prev_grams = [gram.copy() for gram in self._grams]
+
+    @property
+    def prev_grams(self) -> list[np.ndarray]:
+        """Maintained ``A_prev(m)' A(m)`` matrices (Eq. 17)."""
+        return self._prev_grams
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 outline
+    # ------------------------------------------------------------------
+    def _update(self, delta: Delta) -> None:
+        # Line 1 of Algorithm 3: snapshot the Grams at the start of the event.
+        self._prev_grams = [gram.copy() for gram in self._grams]
+        affected = self._affected_rows(delta)
+        # Rows as they were before any update of this event, used to evaluate
+        # the reconstruction X̃ in the sampled residuals.
+        prev_rows: dict[tuple[int, int], np.ndarray] = {
+            (mode, index): self._factors[mode][index, :].copy()
+            for mode, index in affected
+        }
+        for mode, index in affected:
+            self._update_row(mode, index, delta, prev_rows)
+
+    # ------------------------------------------------------------------
+    # updateRowRan (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _update_row(
+        self,
+        mode: int,
+        index: int,
+        delta: Delta,
+        prev_rows: dict[tuple[int, int], np.ndarray],
+    ) -> None:
+        tensor = self.window.tensor  # already X + ΔX
+        degree = tensor.degree(mode, index)
+        old_row = self._factors[mode][index, :].copy()
+        if degree <= self.config.theta:
+            numerator = mttkrp_row(tensor, self._factors, mode, index)
+            new_row = numerator @ self._pinv(self._hadamard_of_grams(mode))  # Eq. (12)
+        else:
+            new_row = self._sampled_row_update(mode, index, delta, prev_rows, old_row)
+        self._factors[mode][index, :] = new_row
+        self._update_gram(mode, old_row, new_row)  # Eq. (13)
+        # Eq. (17): A_prev' A gains the change of row `index` of mode `mode`.
+        self._prev_grams[mode] += np.outer(old_row, new_row - old_row)
+
+    def _sampled_row_update(
+        self,
+        mode: int,
+        index: int,
+        delta: Delta,
+        prev_rows: dict[tuple[int, int], np.ndarray],
+        old_row: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. (16): approximate the window by ``X̃ + X̄`` with ``θ`` samples."""
+        tensor = self.window.tensor
+        delta_coordinates = [coordinate for coordinate, _ in delta.entries]
+        samples = sample_slice_coordinates(
+            tensor.shape,
+            mode,
+            index,
+            self.config.theta,
+            self._rng,
+            exclude=delta_coordinates,
+        )
+        residual_row = np.zeros(self.rank, dtype=np.float64)
+        if samples:
+            observed = np.array([tensor.get(c) for c in samples], dtype=np.float64)
+            reconstructed = self._reconstruction_batch(samples, prev_rows)
+            residuals = observed - reconstructed  # the x̄_J values
+            residual_row = residuals @ self._other_rows_product_batch(mode, samples)
+        for coordinate, value in delta.entries:
+            if coordinate[mode] != index:
+                continue
+            residual_row += value * self._other_rows_product(mode, coordinate)
+        hadamard_prev = self._hadamard_of_grams(mode, self._prev_grams)
+        pinv_hadamard = self._pinv(self._hadamard_of_grams(mode))
+        return old_row @ hadamard_prev @ pinv_hadamard + residual_row @ pinv_hadamard

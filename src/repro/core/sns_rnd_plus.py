@@ -1,0 +1,139 @@
+"""SNS+_RND — sampled coordinate descent with clipping (Algorithm 5, updateRowRan+).
+
+The paper's recommended default: per-update cost bounded by ``θ`` like
+SNS_RND, numerical stability through clipping like SNS+_VEC, and constant
+per-event time when ``M``, ``R``, ``θ`` are constants (Theorem 7).
+
+For each affected row:
+
+* if ``deg(m, i_m) <= θ`` the exact coordinate-descent rule of Eq. (21) is
+  used;
+* otherwise ``θ`` coordinates are sampled in the row's slice, the window is
+  approximated by ``X̃ + X̄``, and Eq. (23) is used, which needs the
+  previous-Gram matrices ``A_prev' A`` maintained by Eq. (26).
+
+Every updated entry is clipped into ``[-η, η]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.als.mttkrp import mttkrp_row
+from repro.core.base import ContinuousCPD
+from repro.core.sampling import sample_slice_coordinates
+from repro.stream.deltas import Delta
+
+Coordinate = tuple[int, ...]
+
+
+class SNSRndPlus(ContinuousCPD):
+    """Sampled coordinate-descent updates with clipping: the paper's default choice."""
+
+    name = "sns_rnd_plus"
+
+    def _post_initialize(self) -> None:
+        self._prev_grams = [gram.copy() for gram in self._grams]
+
+    @property
+    def prev_grams(self) -> list[np.ndarray]:
+        """Maintained ``A_prev(m)' A(m)`` matrices (Eq. 26)."""
+        return self._prev_grams
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 outline
+    # ------------------------------------------------------------------
+    def _update(self, delta: Delta) -> None:
+        self._prev_grams = [gram.copy() for gram in self._grams]
+        affected = self._affected_rows(delta)
+        prev_rows: dict[tuple[int, int], np.ndarray] = {
+            (mode, index): self._factors[mode][index, :].copy()
+            for mode, index in affected
+        }
+        for mode, index in affected:
+            self._update_row(mode, index, delta, prev_rows)
+
+    # ------------------------------------------------------------------
+    # updateRowRan+ (Algorithm 5)
+    # ------------------------------------------------------------------
+    def _update_row(
+        self,
+        mode: int,
+        index: int,
+        delta: Delta,
+        prev_rows: dict[tuple[int, int], np.ndarray],
+    ) -> None:
+        tensor = self.window.tensor  # already X + ΔX
+        degree = tensor.degree(mode, index)
+        old_row = self._factors[mode][index, :].copy()
+        hadamard = self._hadamard_of_grams(mode)
+        if degree <= self.config.theta:
+            # Eq. (21): exact data term over the row's non-zeros.
+            numerator = mttkrp_row(tensor, self._factors, mode, index)
+        else:
+            # Eq. (23): e-term via the previous Grams plus sampled residuals
+            # and the explicit ΔX contribution.
+            hadamard_prev = self._hadamard_of_grams(mode, self._prev_grams)
+            numerator = old_row @ hadamard_prev + self._sampled_contribution(
+                mode, index, delta, prev_rows
+            )
+        new_row = self._coordinate_descent(mode, index, numerator, hadamard)
+        self._factors[mode][index, :] = new_row
+        self._update_gram(mode, old_row, new_row)  # Eqs. (24)-(25)
+        self._prev_grams[mode] += np.outer(old_row, new_row - old_row)  # Eq. (26)
+
+    def _sampled_contribution(
+        self,
+        mode: int,
+        index: int,
+        delta: Delta,
+        prev_rows: dict[tuple[int, int], np.ndarray],
+    ) -> np.ndarray:
+        """``sum_J (x̄_J + Δx_J) * prod_{n != m} a(n)_{j_n k}`` of Eq. (23)."""
+        tensor = self.window.tensor
+        delta_coordinates = [coordinate for coordinate, _ in delta.entries]
+        samples = sample_slice_coordinates(
+            tensor.shape,
+            mode,
+            index,
+            self.config.theta,
+            self._rng,
+            exclude=delta_coordinates,
+        )
+        contribution = np.zeros(self.rank, dtype=np.float64)
+        if samples:
+            observed = np.array([tensor.get(c) for c in samples], dtype=np.float64)
+            reconstructed = self._reconstruction_batch(samples, prev_rows)
+            residuals = observed - reconstructed  # the x̄_J values
+            contribution = residuals @ self._other_rows_product_batch(mode, samples)
+        for coordinate, value in delta.entries:
+            if coordinate[mode] != index:
+                continue
+            contribution += value * self._other_rows_product(mode, coordinate)
+        return contribution
+
+    def _coordinate_descent(
+        self,
+        mode: int,
+        index: int,
+        numerator: np.ndarray,
+        hadamard: np.ndarray,
+    ) -> np.ndarray:
+        """Entry-by-entry update with clipping (lines 12-15 of Algorithm 5)."""
+        eta = self.config.eta
+        lower = 0.0 if self.config.nonnegative else -eta
+        ridge = self.config.regularization
+        row = self._factors[mode][index, :].copy()
+        for k in range(self.rank):
+            column = hadamard[:, k]
+            c_k = column[k] + ridge
+            if c_k <= 0.0:
+                continue
+            d_k = float(row @ column) - row[k] * column[k]
+            updated = (numerator[k] - d_k) / c_k
+            if updated > eta:
+                updated = eta
+            elif updated < lower:
+                updated = lower
+            row[k] = updated
+        return row

@@ -1,0 +1,36 @@
+"""Datasets: paper metadata, synthetic stream generators, and loaders.
+
+The paper evaluates on four real-world sparse tensor streams (Table II).
+Those CSV dumps are not redistributable inside this offline reproduction, so
+:mod:`repro.data.generators` builds synthetic equivalents: streams with the
+same mode structure, a comparable sparsity regime, and a genuine low-rank
+signal (a latent-factor model driving a Poisson event process).  The real
+datasets' metadata is kept in :mod:`repro.data.datasets` for reference and
+for the Table II benchmark.
+"""
+
+from repro.data.datasets import (
+    DATASETS,
+    PAPER_DATASETS,
+    DatasetSpec,
+    PaperDatasetInfo,
+    get_dataset_spec,
+)
+from repro.data.generators import (
+    SyntheticStreamConfig,
+    generate_dataset,
+    generate_synthetic_stream,
+)
+from repro.data.loaders import load_stream_csv
+
+__all__ = [
+    "DATASETS",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "PaperDatasetInfo",
+    "get_dataset_spec",
+    "SyntheticStreamConfig",
+    "generate_dataset",
+    "generate_synthetic_stream",
+    "load_stream_csv",
+]

@@ -1,0 +1,171 @@
+"""Dataset metadata: the paper's Table II and our synthetic equivalents.
+
+``PAPER_DATASETS`` records the real datasets exactly as Table II reports them
+(for documentation and for the Table II benchmark output).  ``DATASETS`` maps
+the same names to :class:`DatasetSpec` objects describing the scaled-down
+synthetic equivalents this reproduction actually runs on, including the
+default hyper-parameters of Table III.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PaperDatasetInfo:
+    """One row of Table II of the paper (the real dataset)."""
+
+    name: str
+    description: str
+    shape: tuple[int, ...]
+    n_nonzeros: float
+    density: float
+    time_unit: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A synthetic equivalent of one paper dataset plus its default hyper-parameters.
+
+    Attributes mirror Table III: rank ``R``, window length ``W``, period ``T``
+    (in synthetic time units), sampling threshold ``θ``, and clipping
+    threshold ``η``.  ``mode_sizes`` / ``n_records`` / ``rank_truth`` describe
+    the synthetic generator; they are scaled down from the real data so the
+    pure-Python experiments complete quickly.
+    """
+
+    name: str
+    mode_names: tuple[str, ...]
+    mode_sizes: tuple[int, ...]
+    period: float
+    window_length: int
+    rank: int
+    theta: int
+    eta: float
+    n_records: int
+    rank_truth: int
+    records_per_period: float
+    seed: int
+
+    @property
+    def order(self) -> int:
+        """Tensor order ``M`` (categorical modes plus the time mode)."""
+        return len(self.mode_sizes) + 1
+
+    @property
+    def window_shape(self) -> tuple[int, ...]:
+        """Shape of the tensor window built from this dataset."""
+        return (*self.mode_sizes, self.window_length)
+
+
+#: Table II of the paper, verbatim (real datasets; not shipped here).
+PAPER_DATASETS: dict[str, PaperDatasetInfo] = {
+    "divvy_bikes": PaperDatasetInfo(
+        name="Divvy Bikes",
+        description="sources x destinations x timestamps [minutes]",
+        shape=(673, 673, 525_594),
+        n_nonzeros=3.82e6,
+        density=1.604e-5,
+        time_unit="minutes",
+    ),
+    "chicago_crime": PaperDatasetInfo(
+        name="Chicago Crime",
+        description="communities x crime types x timestamps [hours]",
+        shape=(77, 32, 148_464),
+        n_nonzeros=5.33e6,
+        density=1.457e-2,
+        time_unit="hours",
+    ),
+    "nyc_taxi": PaperDatasetInfo(
+        name="New York Taxi",
+        description="sources x destinations x timestamps [seconds]",
+        shape=(265, 265, 5_184_000),
+        n_nonzeros=84.39e6,
+        density=2.318e-4,
+        time_unit="seconds",
+    ),
+    "ride_austin": PaperDatasetInfo(
+        name="Ride Austin",
+        description="sources x destinations x colors x timestamps [minutes]",
+        shape=(219, 219, 24, 285_136),
+        n_nonzeros=0.89e6,
+        density=2.739e-6,
+        time_unit="minutes",
+    ),
+}
+
+
+#: Synthetic equivalents actually used by the experiments (scaled down).
+#: Periods are in abstract "time units"; the generator emits integer-valued
+#: timestamps, so a period of 360 means one tensor unit aggregates 360 ticks.
+DATASETS: dict[str, DatasetSpec] = {
+    "divvy_bikes": DatasetSpec(
+        name="divvy_bikes",
+        mode_names=("source", "destination"),
+        mode_sizes=(60, 60),
+        period=360.0,
+        window_length=10,
+        rank=20,
+        theta=20,
+        eta=1000.0,
+        n_records=12_000,
+        rank_truth=8,
+        records_per_period=400.0,
+        seed=11,
+    ),
+    "chicago_crime": DatasetSpec(
+        name="chicago_crime",
+        mode_names=("community", "crime_type"),
+        mode_sizes=(77, 32),
+        period=360.0,
+        window_length=10,
+        rank=20,
+        theta=20,
+        eta=1000.0,
+        n_records=15_000,
+        rank_truth=6,
+        records_per_period=500.0,
+        seed=13,
+    ),
+    "nyc_taxi": DatasetSpec(
+        name="nyc_taxi",
+        mode_names=("source", "destination"),
+        mode_sizes=(80, 80),
+        period=360.0,
+        window_length=10,
+        rank=20,
+        theta=20,
+        eta=1000.0,
+        n_records=20_000,
+        rank_truth=10,
+        records_per_period=650.0,
+        seed=17,
+    ),
+    "ride_austin": DatasetSpec(
+        name="ride_austin",
+        mode_names=("source", "destination", "color"),
+        mode_sizes=(40, 40, 6),
+        period=360.0,
+        window_length=10,
+        rank=20,
+        theta=50,
+        eta=1000.0,
+        n_records=9_000,
+        rank_truth=5,
+        records_per_period=300.0,
+        seed=19,
+    ),
+}
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a synthetic dataset spec by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

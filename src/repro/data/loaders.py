@@ -1,0 +1,34 @@
+"""Loaders for user-provided multi-aspect stream files.
+
+The paper's public datasets ship as CSV files of
+``index_1, ..., index_{M-1}, value, timestamp`` rows; users who have those
+files (or their own data in the same layout) can load them here and run the
+same experiments the synthetic benches run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.stream.stream import MultiAspectStream
+
+
+def load_stream_csv(
+    path: str | Path,
+    mode_sizes: Sequence[int] | None = None,
+    mode_names: Sequence[str] | None = None,
+    has_header: bool = True,
+) -> MultiAspectStream:
+    """Load a multi-aspect data stream from a CSV file.
+
+    Thin wrapper around :meth:`MultiAspectStream.from_csv` kept here so data
+    entry points live in one package.
+    """
+    return MultiAspectStream.from_csv(
+        path,
+        mode_sizes=mode_sizes,
+        mode_names=mode_names,
+        has_header=has_header,
+        sort=True,
+    )

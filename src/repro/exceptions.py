@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can distinguish library errors from bugs or
+numpy-level failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor, matrix, or coordinate has an incompatible shape."""
+
+
+class IndexOutOfBoundsError(ReproError, IndexError):
+    """A coordinate lies outside the declared tensor shape."""
+
+
+class RankError(ReproError, ValueError):
+    """A decomposition rank is invalid (non-positive or inconsistent)."""
+
+
+class StreamOrderError(ReproError, ValueError):
+    """A multi-aspect data stream violates chronological ordering."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm or experiment was configured with invalid parameters."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring fitted factors was called before ``fit``."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """A registry lookup referenced an algorithm name that is not registered."""
+
+
+class DataGenerationError(ReproError, ValueError):
+    """A synthetic data generator was asked for an impossible configuration."""

@@ -1,0 +1,104 @@
+"""Experiment settings and the Table III default hyper-parameters.
+
+The synthetic datasets are scaled down from the paper's real data, so the
+experiment sizes (number of replayed events, checkpoints, ALS iterations) are
+also scaled; the *hyper-parameters of the methods themselves* (R, W, θ, η)
+follow Table III via :class:`repro.data.datasets.DatasetSpec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.data.datasets import DATASETS, DatasetSpec, get_dataset_spec
+from repro.exceptions import ConfigurationError
+
+#: The methods shown in Figs. 4 and 5 of the paper, in plot order.
+DEFAULT_CONTINUOUS_METHODS = (
+    "sns_rnd_plus",
+    "sns_vec_plus",
+    "sns_rnd",
+    "sns_vec",
+    "sns_mat",
+)
+DEFAULT_PERIODIC_METHODS = (
+    "als",
+    "online_scp",
+    "cp_stream",
+    "necpd(1)",
+    "necpd(10)",
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ExperimentSettings:
+    """Sizing knobs of a streaming experiment run.
+
+    Attributes
+    ----------
+    dataset:
+        Name of the synthetic dataset (see :data:`repro.data.datasets.DATASETS`).
+    scale:
+        Multiplier on the dataset's record count.
+    max_events:
+        Number of window events replayed after initialisation.
+    n_checkpoints:
+        Number of fitness checkpoints taken during the replay.
+    als_iterations:
+        ALS sweeps used to initialise every method.
+    seed:
+        Seed forwarded to data generation and algorithms.
+    """
+
+    dataset: str = "nyc_taxi"
+    scale: float = 0.3
+    max_events: int = 3000
+    n_checkpoints: int = 20
+    als_iterations: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; available: {sorted(DATASETS)}"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if self.max_events <= 0:
+            raise ConfigurationError(
+                f"max_events must be positive, got {self.max_events}"
+            )
+        if self.n_checkpoints <= 0:
+            raise ConfigurationError(
+                f"n_checkpoints must be positive, got {self.n_checkpoints}"
+            )
+        if self.als_iterations <= 0:
+            raise ConfigurationError(
+                f"als_iterations must be positive, got {self.als_iterations}"
+            )
+
+    @property
+    def spec(self) -> DatasetSpec:
+        """The dataset spec (Table III defaults for this dataset)."""
+        return get_dataset_spec(self.dataset)
+
+    @property
+    def checkpoint_every(self) -> int:
+        """Events between two fitness checkpoints."""
+        return max(self.max_events // self.n_checkpoints, 1)
+
+
+def default_settings(dataset: str = "nyc_taxi", **overrides: object) -> ExperimentSettings:
+    """Settings with the repository defaults for ``dataset``."""
+    return dataclasses.replace(ExperimentSettings(dataset=dataset), **overrides)  # type: ignore[arg-type]
+
+
+def table_iii_rows() -> list[tuple[str, int, int, float, int, float]]:
+    """Rows of Table III: (dataset, R, W, T, θ, η) for every dataset."""
+    rows = []
+    for name in sorted(DATASETS):
+        spec = DATASETS[name]
+        rows.append(
+            (name, spec.rank, spec.window_length, spec.period, spec.theta, spec.eta)
+        )
+    return rows

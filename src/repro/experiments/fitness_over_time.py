@@ -1,0 +1,81 @@
+"""Fig. 4 — relative fitness of every method over time on one dataset.
+
+The paper replays each stream for 5·W·T time units and plots the fitness of
+each method relative to batch ALS.  Here the replay length is controlled by
+``ExperimentSettings.max_events``; the output is one (time, relative fitness)
+series per method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.experiments.config import (
+    DEFAULT_CONTINUOUS_METHODS,
+    DEFAULT_PERIODIC_METHODS,
+    ExperimentSettings,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclasses.dataclass(slots=True)
+class FitnessOverTimeResult:
+    """Per-method relative-fitness series for one dataset."""
+
+    dataset: str
+    experiment: ExperimentResult
+    methods: list[str]
+
+    def series(self, method: str) -> tuple[list[float], list[float]]:
+        """Checkpoint times and relative-fitness values for ``method``."""
+        result = self.experiment.methods[method]
+        return result.checkpoint_times, self.experiment.relative_series(method)
+
+
+def run_fitness_over_time(
+    settings: ExperimentSettings | None = None,
+    methods: Sequence[str] | None = None,
+) -> FitnessOverTimeResult:
+    """Run the Fig. 4 experiment for one dataset."""
+    settings = settings or ExperimentSettings()
+    if methods is None:
+        methods = list(DEFAULT_CONTINUOUS_METHODS) + list(DEFAULT_PERIODIC_METHODS)
+    else:
+        methods = list(methods)
+    if "als" not in methods:
+        methods.append("als")  # needed as the relative-fitness reference
+    experiment = run_experiment(settings, methods)
+    return FitnessOverTimeResult(
+        dataset=settings.dataset, experiment=experiment, methods=methods
+    )
+
+
+def format_fitness_over_time(result: FitnessOverTimeResult) -> str:
+    """Render the Fig. 4 series and a summary table as text."""
+    blocks = [f"Fig. 4 — relative fitness over time ({result.dataset})"]
+    for method in result.methods:
+        times, values = result.series(method)
+        label = result.experiment.methods[method].label
+        blocks.append(format_series(label, times, values, unit="relative fitness"))
+    rows = []
+    for method in result.methods:
+        outcome = result.experiment.methods[method]
+        rows.append(
+            (
+                outcome.label,
+                outcome.kind,
+                result.experiment.average_relative_fitness(method),
+                outcome.average_fitness,
+                outcome.final_fitness,
+            )
+        )
+    blocks.append(
+        format_table(
+            ("method", "kind", "avg rel. fitness", "avg fitness", "final fitness"),
+            rows,
+            title="Summary",
+        )
+    )
+    return "\n\n".join(blocks)

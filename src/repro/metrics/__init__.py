@@ -1,0 +1,19 @@
+"""Evaluation metrics used by the paper (Section VI-A) and timing helpers."""
+
+from repro.metrics.fitness import fitness, relative_fitness
+from repro.metrics.errors import (
+    mean_absolute_error,
+    root_mean_squared_error,
+    reconstruction_errors,
+)
+from repro.metrics.timing import Stopwatch, UpdateTimer
+
+__all__ = [
+    "fitness",
+    "relative_fitness",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "reconstruction_errors",
+    "Stopwatch",
+    "UpdateTimer",
+]

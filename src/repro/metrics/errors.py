@@ -1,0 +1,46 @@
+"""Entry-level reconstruction errors (used by the anomaly-detection study)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.sparse import SparseTensor
+
+
+def reconstruction_errors(
+    decomposition: KruskalTensor, tensor: SparseTensor
+) -> dict[tuple[int, ...], float]:
+    """Signed errors ``x_J - x̂_J`` at every non-zero coordinate of ``tensor``."""
+    indices, values = tensor.to_coo_arrays()
+    if values.size == 0:
+        return {}
+    reconstructed = decomposition.values_at(indices)
+    return {
+        tuple(int(i) for i in coordinate): float(value - estimate)
+        for coordinate, value, estimate in zip(indices, values, reconstructed)
+    }
+
+
+def root_mean_squared_error(
+    decomposition: KruskalTensor, tensor: SparseTensor
+) -> float:
+    """RMSE over the non-zero coordinates of ``tensor``."""
+    errors = reconstruction_errors(decomposition, tensor)
+    if not errors:
+        return 0.0
+    return math.sqrt(
+        float(np.mean([error * error for error in errors.values()]))
+    )
+
+
+def mean_absolute_error(
+    decomposition: KruskalTensor, tensor: SparseTensor
+) -> float:
+    """MAE over the non-zero coordinates of ``tensor``."""
+    errors = reconstruction_errors(decomposition, tensor)
+    if not errors:
+        return 0.0
+    return float(np.mean([abs(error) for error in errors.values()]))

@@ -1,0 +1,32 @@
+"""Fitness and relative fitness (Section VI-A of the paper).
+
+* Fitness ``= 1 - ||X̂ - X||_F / ||X||_F`` — 1 means perfect reconstruction,
+  0 means no better than the zero tensor, negative values are possible.
+* Relative fitness ``= fitness_target / fitness_ALS`` — how close an online
+  method gets to the offline ALS reference on the same window.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.sparse import SparseTensor
+
+
+def fitness(decomposition: KruskalTensor, tensor: SparseTensor) -> float:
+    """Fitness of ``decomposition`` against the sparse tensor ``tensor``."""
+    return decomposition.fitness(tensor)
+
+
+def relative_fitness(target_fitness: float, reference_fitness: float) -> float:
+    """Ratio of a method's fitness to the ALS reference fitness.
+
+    Both values may legitimately be negative for badly diverged models; the
+    ratio is returned as-is in the common case (positive reference) and NaN
+    when the reference fitness is zero or not finite, so plots make the
+    pathology visible instead of hiding it.
+    """
+    if not math.isfinite(reference_fitness) or reference_fitness == 0.0:
+        return float("nan")
+    return target_fitness / reference_fitness

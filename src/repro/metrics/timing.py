@@ -1,0 +1,52 @@
+"""Timing helpers used by the experiment runner and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class UpdateTimer:
+    """Accumulates per-update timings and reports averages.
+
+    The paper's headline speed metric is "elapsed time per update"
+    (microseconds per event for SliceNStitch, per period for baselines).
+    """
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.n_updates = 0
+        self._start = 0.0
+
+    def start(self) -> None:
+        """Start timing one update."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> None:
+        """Stop timing one update and accumulate."""
+        self.total_seconds += time.perf_counter() - self._start
+        self.n_updates += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean seconds per update (0.0 before any update)."""
+        return self.total_seconds / self.n_updates if self.n_updates else 0.0
+
+    @property
+    def mean_microseconds(self) -> float:
+        """Mean microseconds per update, the unit used in the paper's figures."""
+        return 1e6 * self.mean_seconds

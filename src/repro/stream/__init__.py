@@ -1,0 +1,34 @@
+"""Multi-aspect data streams and the continuous tensor model (Section IV).
+
+This package implements:
+
+* :class:`~repro.stream.stream.MultiAspectStream` — Definition 1, a
+  chronological sequence of timestamped tuples.
+* :class:`~repro.stream.window.TensorWindow` — the tensor window
+  ``D(t, W)`` of Definition 4, stored sparsely.
+* :class:`~repro.stream.deltas.Delta` — the input change ``ΔX`` of
+  Definition 6 caused by one event.
+* :class:`~repro.stream.processor.ContinuousStreamProcessor` — the
+  event-driven implementation of the continuous tensor model (Algorithm 1),
+  which turns a stream into a chronological sequence of events/deltas while
+  keeping the window up to date.
+"""
+
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+from repro.stream.stream import MultiAspectStream
+from repro.stream.deltas import Delta
+from repro.stream.window import TensorWindow, WindowConfig
+from repro.stream.scheduler import EventScheduler
+from repro.stream.processor import ContinuousStreamProcessor
+
+__all__ = [
+    "EventKind",
+    "StreamRecord",
+    "WindowEvent",
+    "MultiAspectStream",
+    "Delta",
+    "TensorWindow",
+    "WindowConfig",
+    "EventScheduler",
+    "ContinuousStreamProcessor",
+]

@@ -1,0 +1,97 @@
+"""Input changes ``ΔX`` caused by window events (Definition 6).
+
+Every event touches at most two entries of the tensor window: an arrival adds
+the value to the newest unit, a shift moves it one unit older (a subtraction
+and an addition), and an expiry subtracts it from the oldest unit.  The
+:class:`Delta` object records those entry changes explicitly so that the
+online update rules can iterate over them without re-deriving the event
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import ShapeError
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+
+Coordinate = tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Delta:
+    """The sparse change ``ΔX`` in the tensor window caused by one event.
+
+    Attributes
+    ----------
+    entries:
+        Tuple of ``(coordinate, value)`` pairs; at most two.  Coordinates are
+        full ``M``-dimensional window coordinates (categorical indices followed
+        by the time-mode index, 0-based with ``W - 1`` the newest unit).
+    record:
+        The stream record that caused the event.
+    step:
+        The ``w`` of Section IV-B (0 arrival, ``1..W-1`` shift, ``W`` expiry).
+    kind:
+        The event kind, kept for convenience.
+    """
+
+    entries: tuple[tuple[Coordinate, float], ...]
+    record: StreamRecord
+    step: int
+    kind: EventKind
+
+    @property
+    def categorical_indices(self) -> tuple[int, ...]:
+        """The ``(i_1, ..., i_{M-1})`` indices of the affected entries."""
+        return self.record.indices
+
+    @property
+    def time_indices(self) -> tuple[int, ...]:
+        """Time-mode indices touched by this delta (one or two)."""
+        return tuple(coordinate[-1] for coordinate, _ in self.entries)
+
+    @property
+    def nnz(self) -> int:
+        """Number of changed entries (1 or 2)."""
+        return len(self.entries)
+
+    def value_at(self, coordinate: Coordinate) -> float:
+        """Return the delta value at ``coordinate`` (0.0 if untouched)."""
+        for entry_coordinate, value in self.entries:
+            if entry_coordinate == coordinate:
+                return value
+        return 0.0
+
+    @staticmethod
+    def from_event(event: WindowEvent, window_length: int) -> "Delta":
+        """Build the ``ΔX`` of Definition 6 for ``event`` in a window of ``W`` units.
+
+        Using 0-based time indices with ``W - 1`` the newest unit:
+
+        * arrival (``w = 0``): ``+v`` at index ``W - 1``,
+        * shift (``0 < w < W``): ``-v`` at index ``W - w`` and ``+v`` at
+          ``W - w - 1``,
+        * expiry (``w = W``): ``-v`` at index ``0``.
+        """
+        window_length = int(window_length)
+        if window_length <= 0:
+            raise ShapeError(f"window length must be positive, got {window_length}")
+        record = event.record
+        step = int(event.step)
+        value = record.value
+        prefix = record.indices
+        if step == 0:
+            entries = (((*prefix, window_length - 1), value),)
+        elif step == window_length:
+            entries = (((*prefix, 0), -value),)
+        elif 0 < step < window_length:
+            entries = (
+                ((*prefix, window_length - step), -value),
+                ((*prefix, window_length - step - 1), value),
+            )
+        else:
+            raise ShapeError(
+                f"event step {step} is outside the valid range 0..{window_length}"
+            )
+        return Delta(entries=entries, record=record, step=step, kind=event.kind)

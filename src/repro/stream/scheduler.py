@@ -1,0 +1,58 @@
+"""Deterministic event scheduler for the continuous tensor model.
+
+A small wrapper around :mod:`heapq` that assigns every pushed event a
+monotonically increasing sequence number, so events firing at the same time
+are delivered in the order they were scheduled.  This mirrors the
+"schedule the (w+1)-th update" bookkeeping of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+
+
+class EventScheduler:
+    """Priority queue of :class:`~repro.stream.events.WindowEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[WindowEvent] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self, time: float, kind: EventKind, record: StreamRecord, step: int
+    ) -> WindowEvent:
+        """Create, enqueue, and return a new event."""
+        event = WindowEvent(
+            time=float(time),
+            sequence=self._sequence,
+            kind=kind,
+            record=record,
+            step=int(step),
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or None if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> WindowEvent:
+        """Remove and return the earliest pending event."""
+        return heapq.heappop(self._heap)
+
+    def pop_until(self, time: float) -> Iterator[WindowEvent]:
+        """Yield (and remove) every pending event with ``event.time <= time``."""
+        while self._heap and self._heap[0].time <= time:
+            yield heapq.heappop(self._heap)
+
+    def drain(self) -> Iterator[WindowEvent]:
+        """Yield (and remove) every pending event in time order."""
+        while self._heap:
+            yield heapq.heappop(self._heap)

@@ -1,0 +1,108 @@
+"""Matrix products used throughout CP decomposition.
+
+The paper (Table I) uses the Khatri-Rao product (column-wise Kronecker,
+written with a circled dot) and the Hadamard product (element-wise, written
+with an asterisk).  Both are provided here together with the vector outer
+product used to build rank-one tensors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+import functools
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def hadamard(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Element-wise (Hadamard) product of two equally-shaped matrices."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if left.shape != right.shape:
+        raise ShapeError(
+            f"Hadamard product requires equal shapes, got {left.shape} and {right.shape}"
+        )
+    return left * right
+
+
+def hadamard_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Hadamard product of a non-empty sequence of equally-shaped matrices."""
+    if len(matrices) == 0:
+        raise ShapeError("hadamard_all requires at least one matrix")
+    return functools.reduce(hadamard, [np.asarray(m, dtype=np.float64) for m in matrices])
+
+
+def khatri_rao(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Column-wise Khatri-Rao product of two matrices with equal column count.
+
+    For ``left`` of shape ``(I, R)`` and ``right`` of shape ``(J, R)`` the
+    result has shape ``(I * J, R)`` with columns ``kron(left[:, r], right[:, r])``.
+    """
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if left.ndim != 2 or right.ndim != 2:
+        raise ShapeError("khatri_rao expects two matrices")
+    if left.shape[1] != right.shape[1]:
+        raise ShapeError(
+            "khatri_rao requires equal column counts, got "
+            f"{left.shape[1]} and {right.shape[1]}"
+        )
+    n_rows = left.shape[0] * right.shape[0]
+    n_cols = left.shape[1]
+    return (left[:, None, :] * right[None, :, :]).reshape(n_rows, n_cols)
+
+
+def khatri_rao_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of a non-empty sequence of matrices.
+
+    Follows the convention used in CP decomposition literature where the
+    product is taken in the given order, i.e. ``khatri_rao_all([A, B, C]) ==
+    khatri_rao(khatri_rao(A, B), C)``.
+    """
+    if len(matrices) == 0:
+        raise ShapeError("khatri_rao_all requires at least one matrix")
+    return functools.reduce(khatri_rao, [np.asarray(m, dtype=np.float64) for m in matrices])
+
+
+def outer(vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Outer product of a sequence of vectors: a rank-one tensor.
+
+    ``outer([a, b, c])[i, j, k] == a[i] * b[j] * c[k]``.
+    """
+    if len(vectors) == 0:
+        raise ShapeError("outer requires at least one vector")
+    result = np.asarray(vectors[0], dtype=np.float64)
+    if result.ndim != 1:
+        raise ShapeError("outer expects one-dimensional vectors")
+    for vector in vectors[1:]:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.ndim != 1:
+            raise ShapeError("outer expects one-dimensional vectors")
+        result = np.multiply.outer(result, vector)
+    return result
+
+
+def gram(matrix: np.ndarray) -> np.ndarray:
+    """Gram matrix ``A' A`` of a factor matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ShapeError("gram expects a matrix")
+    return matrix.T @ matrix
+
+
+def hadamard_of_grams(
+    factors: Sequence[np.ndarray], skip: int | None = None
+) -> np.ndarray:
+    """Hadamard product of the Gram matrices of ``factors``.
+
+    This is the matrix the paper writes ``H(m) = *_{n != m} A(n)' A(n)`` when
+    ``skip = m``, or ``*_n A(n)' A(n)`` when ``skip`` is None.
+    """
+    selected = [
+        gram(factor) for index, factor in enumerate(factors) if index != skip
+    ]
+    if not selected:
+        raise ShapeError("hadamard_of_grams needs at least one factor to include")
+    return hadamard_all(selected)

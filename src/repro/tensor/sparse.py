@@ -1,0 +1,296 @@
+"""Coordinate-format sparse tensors with per-mode inverted indexes.
+
+The tensor window maintained by the continuous tensor model (Section IV of the
+paper) receives a handful of single-entry increments per tuple in the stream,
+and the SliceNStitch update rules repeatedly enumerate
+
+    Omega(m)_i  =  { coordinates of non-zeros whose m-th mode index equals i }
+
+(the set the paper calls ``deg(m, i_m)`` the size of).  A plain dict of
+``coordinate -> value`` gives O(1) increments; the per-mode inverted index
+gives O(deg) enumeration of each Omega set.  Both are kept exactly consistent
+by routing every mutation through :meth:`SparseTensor.add` /
+:meth:`SparseTensor.set`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+import math
+
+import numpy as np
+
+from repro.exceptions import IndexOutOfBoundsError, ShapeError
+
+Coordinate = tuple[int, ...]
+
+#: Absolute values below this threshold are treated as explicit zeros and
+#: removed from storage.  The continuous tensor model adds and later subtracts
+#: the same float, so without a drop tolerance the window would slowly fill
+#: with 1e-17 residues.
+DROP_TOLERANCE = 1e-12
+
+
+class SparseTensor:
+    """A mutable sparse tensor stored as ``coordinate -> value``.
+
+    Parameters
+    ----------
+    shape:
+        Length of each mode.  All coordinates must lie inside this box.
+    entries:
+        Optional initial ``coordinate -> value`` mapping.  Values whose
+        magnitude is below :data:`DROP_TOLERANCE` are ignored.
+
+    Notes
+    -----
+    The class intentionally exposes a small, explicit API (``get``, ``set``,
+    ``add``, iteration helpers, norms) instead of emulating numpy indexing.
+    Every mutating operation keeps the per-mode inverted index synchronised.
+    """
+
+    __slots__ = ("_shape", "_data", "_mode_index")
+
+    def __init__(
+        self,
+        shape: Iterable[int],
+        entries: Mapping[Coordinate, float] | None = None,
+    ) -> None:
+        shape = tuple(int(n) for n in shape)
+        if len(shape) == 0:
+            raise ShapeError("a tensor must have at least one mode")
+        if any(n <= 0 for n in shape):
+            raise ShapeError(f"all mode lengths must be positive, got {shape}")
+        self._shape: tuple[int, ...] = shape
+        self._data: dict[Coordinate, float] = {}
+        # _mode_index[m][i] is the set of coordinates whose m-th index is i.
+        self._mode_index: list[dict[int, set[Coordinate]]] = [
+            {} for _ in range(len(shape))
+        ]
+        if entries is not None:
+            for coordinate, value in entries.items():
+                self.set(coordinate, float(value))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Length of each mode."""
+        return self._shape
+
+    @property
+    def order(self) -> int:
+        """Number of modes (``M`` in the paper)."""
+        return len(self._shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries (``|X|`` in the paper)."""
+        return len(self._data)
+
+    @property
+    def size(self) -> int:
+        """Total number of cells, zero or not."""
+        return int(np.prod(self._shape, dtype=np.int64))
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that are non-zero."""
+        return self.nnz / self.size
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseTensor(shape={self._shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+    def _validate(self, coordinate: Coordinate) -> Coordinate:
+        coordinate = tuple(int(i) for i in coordinate)
+        if len(coordinate) != self.order:
+            raise ShapeError(
+                f"coordinate {coordinate} has {len(coordinate)} indices but the "
+                f"tensor has {self.order} modes"
+            )
+        for mode, (index, length) in enumerate(zip(coordinate, self._shape)):
+            if not 0 <= index < length:
+                raise IndexOutOfBoundsError(
+                    f"index {index} out of bounds for mode {mode} with length {length}"
+                )
+        return coordinate
+
+    def get(self, coordinate: Coordinate) -> float:
+        """Return the value stored at ``coordinate`` (0.0 if absent)."""
+        return self._data.get(self._validate(coordinate), 0.0)
+
+    def __getitem__(self, coordinate: Coordinate) -> float:
+        return self.get(coordinate)
+
+    def set(self, coordinate: Coordinate, value: float) -> None:
+        """Set the entry at ``coordinate`` to ``value`` (dropping near-zeros)."""
+        coordinate = self._validate(coordinate)
+        if abs(value) <= DROP_TOLERANCE:
+            self._remove(coordinate)
+        else:
+            if coordinate not in self._data:
+                self._index_add(coordinate)
+            self._data[coordinate] = float(value)
+
+    def __setitem__(self, coordinate: Coordinate, value: float) -> None:
+        self.set(coordinate, value)
+
+    def add(self, coordinate: Coordinate, delta: float) -> float:
+        """Add ``delta`` to the entry at ``coordinate`` and return the new value."""
+        coordinate = self._validate(coordinate)
+        new_value = self._data.get(coordinate, 0.0) + float(delta)
+        if abs(new_value) <= DROP_TOLERANCE:
+            self._remove(coordinate)
+            return 0.0
+        if coordinate not in self._data:
+            self._index_add(coordinate)
+        self._data[coordinate] = new_value
+        return new_value
+
+    def _remove(self, coordinate: Coordinate) -> None:
+        if coordinate in self._data:
+            del self._data[coordinate]
+            self._index_remove(coordinate)
+
+    def _index_add(self, coordinate: Coordinate) -> None:
+        for mode, index in enumerate(coordinate):
+            self._mode_index[mode].setdefault(index, set()).add(coordinate)
+
+    def _index_remove(self, coordinate: Coordinate) -> None:
+        for mode, index in enumerate(coordinate):
+            bucket = self._mode_index[mode].get(index)
+            if bucket is not None:
+                bucket.discard(coordinate)
+                if not bucket:
+                    del self._mode_index[mode][index]
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Coordinate, float]]:
+        """Iterate over ``(coordinate, value)`` pairs of non-zero entries."""
+        return iter(self._data.items())
+
+    def coordinates(self) -> Iterator[Coordinate]:
+        """Iterate over non-zero coordinates."""
+        return iter(self._data.keys())
+
+    def mode_slice(self, mode: int, index: int) -> Iterator[tuple[Coordinate, float]]:
+        """Iterate over non-zeros whose ``mode``-th index equals ``index``.
+
+        This enumerates the set the paper writes as ``Omega(m)_{i_m}``.
+        """
+        self._check_mode(mode)
+        bucket = self._mode_index[mode].get(int(index), ())
+        for coordinate in tuple(bucket):
+            yield coordinate, self._data[coordinate]
+
+    def degree(self, mode: int, index: int) -> int:
+        """Return ``deg(mode, index)``: non-zeros with that mode index."""
+        self._check_mode(mode)
+        bucket = self._mode_index[mode].get(int(index))
+        return 0 if bucket is None else len(bucket)
+
+    def mode_indices(self, mode: int) -> set[int]:
+        """Return the set of indices of ``mode`` holding at least one non-zero."""
+        self._check_mode(mode)
+        return set(self._mode_index[mode].keys())
+
+    def _check_mode(self, mode: int) -> None:
+        if not 0 <= mode < self.order:
+            raise ShapeError(f"mode {mode} out of range for order-{self.order} tensor")
+
+    # ------------------------------------------------------------------
+    # Numeric reductions
+    # ------------------------------------------------------------------
+    def norm(self) -> float:
+        """Frobenius norm ``||X||_F``."""
+        return math.sqrt(self.squared_norm())
+
+    def squared_norm(self) -> float:
+        """Squared Frobenius norm ``||X||_F^2``."""
+        return float(sum(value * value for value in self._data.values()))
+
+    def total(self) -> float:
+        """Sum of all stored values."""
+        return float(sum(self._data.values()))
+
+    def inner(self, other: "SparseTensor") -> float:
+        """Inner product with another sparse tensor of the same shape."""
+        if other.shape != self.shape:
+            raise ShapeError(
+                f"cannot take inner product of shapes {self.shape} and {other.shape}"
+            )
+        if other.nnz < self.nnz:
+            small, large = other, self
+        else:
+            small, large = self, other
+        return float(
+            sum(value * large._data.get(coord, 0.0) for coord, value in small.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the tensor as a dense numpy array.
+
+        Only intended for small tensors (tests and tiny examples).
+        """
+        dense = np.zeros(self._shape, dtype=np.float64)
+        for coordinate, value in self._data.items():
+            dense[coordinate] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "SparseTensor":
+        """Build a sparse tensor from a dense numpy array."""
+        array = np.asarray(array, dtype=np.float64)
+        tensor = cls(array.shape)
+        for coordinate in zip(*np.nonzero(array)):
+            tensor.set(tuple(int(i) for i in coordinate), float(array[coordinate]))
+        return tensor
+
+    def copy(self) -> "SparseTensor":
+        """Return a deep copy."""
+        clone = SparseTensor(self._shape)
+        for coordinate, value in self._data.items():
+            clone._data[coordinate] = value
+            clone._index_add(coordinate)
+        return clone
+
+    def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(indices, values)`` arrays in COO layout.
+
+        ``indices`` has shape ``(nnz, order)`` and ``values`` shape ``(nnz,)``.
+        The ordering is the dict insertion order, which is deterministic for a
+        deterministic sequence of mutations.
+        """
+        if self.nnz == 0:
+            return (
+                np.empty((0, self.order), dtype=np.int64),
+                np.empty((0,), dtype=np.float64),
+            )
+        indices = np.array(list(self._data.keys()), dtype=np.int64)
+        values = np.array(list(self._data.values()), dtype=np.float64)
+        return indices, values
+
+    # ------------------------------------------------------------------
+    # Equality (used by tests)
+    # ------------------------------------------------------------------
+    def allclose(self, other: "SparseTensor", atol: float = 1e-9) -> bool:
+        """Return True if both tensors agree entrywise within ``atol``."""
+        if self.shape != other.shape:
+            return False
+        keys = set(self._data) | set(other._data)
+        return all(
+            abs(self._data.get(key, 0.0) - other._data.get(key, 0.0)) <= atol
+            for key in keys
+        )

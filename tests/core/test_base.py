@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.core.base` (shared algorithm infrastructure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SNSConfig
+from repro.core.sns_vec import SNSVec
+from repro.exceptions import ConfigurationError, NotFittedError, RankError, ShapeError
+from repro.stream.deltas import Delta
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+from repro.stream.window import TensorWindow, WindowConfig
+from repro.tensor.random import random_factors
+
+
+class TestSNSConfig:
+    def test_defaults(self):
+        config = SNSConfig(rank=5)
+        assert config.theta == 20
+        assert config.eta == 1000.0
+
+    @pytest.mark.parametrize(
+        ("kwargs", "exception"),
+        [
+            ({"rank": 0}, RankError),
+            ({"rank": 3, "theta": 0}, ConfigurationError),
+            ({"rank": 3, "eta": 0.0}, ConfigurationError),
+            ({"rank": 3, "regularization": -1.0}, ConfigurationError),
+        ],
+    )
+    def test_invalid(self, kwargs, exception):
+        with pytest.raises(exception):
+            SNSConfig(**kwargs)
+
+
+class TestLifecycle:
+    @pytest.fixture
+    def window(self) -> TensorWindow:
+        return TensorWindow(WindowConfig(mode_sizes=(4, 3), window_length=3, period=1.0))
+
+    def test_use_before_initialize_raises(self, window):
+        model = SNSVec(SNSConfig(rank=2))
+        with pytest.raises(NotFittedError):
+            _ = model.factors
+        with pytest.raises(NotFittedError):
+            model.fitness()
+
+    def test_initialize_validates_factor_count(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        with pytest.raises(ShapeError):
+            model.initialize(window, random_factors((4, 3), rank=2, rng=rng))
+
+    def test_initialize_validates_factor_shapes(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        with pytest.raises(ShapeError):
+            model.initialize(window, random_factors((4, 3, 5), rank=2, rng=rng))
+
+    def test_initialize_copies_factors(self, window, rng):
+        factors = random_factors((4, 3, 3), rank=2, rng=rng)
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, factors)
+        factors[0][0, 0] = 42.0
+        assert model.factors[0][0, 0] != 42.0
+
+    def test_properties_after_initialize(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, random_factors((4, 3, 3), rank=2, rng=rng))
+        assert model.order == 3
+        assert model.time_mode == 2
+        assert model.rank == 2
+        assert model.n_parameters == 2 * (4 + 3 + 3)
+        assert model.n_updates == 0
+
+    def test_affected_rows_order(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, random_factors((4, 3, 3), rank=2, rng=rng))
+        record = StreamRecord((2, 1), 1.0, 0.0)
+        event = WindowEvent(1.0, 0, EventKind.SHIFT, record, 1)
+        delta = Delta.from_event(event, 3)
+        rows = model._affected_rows(delta)
+        # Time-mode rows first (newest-but-one then its neighbour), then
+        # one row per categorical mode.
+        assert rows == [(2, 2), (2, 1), (0, 2), (1, 1)]
+
+    def test_reconstruction_at_matches_decomposition(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, random_factors((4, 3, 3), rank=2, rng=rng))
+        coordinate = (1, 2, 0)
+        assert model.reconstruction_at(coordinate) == pytest.approx(
+            model.decomposition.value_at(coordinate)
+        )
+
+    def test_decomposition_is_a_copy(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, random_factors((4, 3, 3), rank=2, rng=rng))
+        decomposition = model.decomposition
+        decomposition.factors[0][0, 0] += 100.0
+        assert model.factors[0][0, 0] != decomposition.factors[0][0, 0]
+
+    def test_batch_helpers_match_scalar_helpers(self, window, rng):
+        model = SNSVec(SNSConfig(rank=3))
+        model.initialize(window, random_factors((4, 3, 3), rank=3, rng=rng))
+        coordinates = [(0, 1, 2), (3, 2, 0), (1, 0, 1)]
+        batch = model._other_rows_product_batch(1, coordinates)
+        for row, coordinate in zip(batch, coordinates):
+            np.testing.assert_allclose(row, model._other_rows_product(1, coordinate))
+        values = model._reconstruction_batch(coordinates)
+        for value, coordinate in zip(values, coordinates):
+            assert value == pytest.approx(model.reconstruction_at(coordinate))
+
+    def test_reconstruction_batch_with_overrides(self, window, rng):
+        model = SNSVec(SNSConfig(rank=2))
+        model.initialize(window, random_factors((4, 3, 3), rank=2, rng=rng))
+        coordinate = (2, 1, 1)
+        override_row = np.zeros(2)
+        values = model._reconstruction_batch([coordinate], {(0, 2): override_row})
+        assert values[0] == pytest.approx(0.0)

@@ -1,0 +1,43 @@
+"""Unit tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ContinuousCPD, SNSConfig
+from repro.core.registry import (
+    ALGORITHMS,
+    available_algorithms,
+    create_algorithm,
+    display_name,
+)
+from repro.exceptions import UnknownAlgorithmError
+
+
+class TestRegistry:
+    def test_all_five_variants_registered(self):
+        assert set(available_algorithms()) == {
+            "sns_mat",
+            "sns_vec",
+            "sns_rnd",
+            "sns_vec_plus",
+            "sns_rnd_plus",
+        }
+
+    def test_create_returns_instances(self):
+        for name in available_algorithms():
+            model = create_algorithm(name, SNSConfig(rank=3))
+            assert isinstance(model, ContinuousCPD)
+            assert model.rank == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            create_algorithm("sns_turbo", SNSConfig(rank=3))
+
+    def test_display_names(self):
+        assert display_name("sns_rnd_plus") == "SNS+_RND"
+        assert display_name("sns_mat") == "SNS_MAT"
+        assert display_name("unknown") == "unknown"
+
+    def test_registry_classes_are_distinct(self):
+        assert len(set(ALGORITHMS.values())) == len(ALGORITHMS)

@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.core.sampling`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import sample_slice_coordinates
+from repro.exceptions import ShapeError
+
+
+class TestSampleSliceCoordinates:
+    def test_count_and_fixed_mode(self, rng):
+        samples = sample_slice_coordinates((5, 6, 7), mode=1, index=3, count=10, rng=rng)
+        assert len(samples) == 10
+        assert all(coordinate[1] == 3 for coordinate in samples)
+        assert all(0 <= c[0] < 5 and 0 <= c[2] < 7 for c in samples)
+
+    def test_samples_are_distinct(self, rng):
+        samples = sample_slice_coordinates((4, 4, 4), mode=0, index=0, count=16, rng=rng)
+        assert len(samples) == len(set(samples))
+
+    def test_request_larger_than_slice_returns_all(self, rng):
+        samples = sample_slice_coordinates((3, 2, 2), mode=0, index=1, count=50, rng=rng)
+        assert len(samples) == 4  # 2 x 2 other-mode cells
+
+    def test_excluded_coordinates_are_never_returned(self, rng):
+        exclude = [(2, 0, 0), (2, 1, 1)]
+        samples = sample_slice_coordinates(
+            (3, 2, 2), mode=0, index=2, count=4, rng=rng, exclude=exclude
+        )
+        assert set(samples).isdisjoint(exclude)
+        assert len(samples) == 2  # only two eligible cells remain
+
+    def test_zero_count(self, rng):
+        assert sample_slice_coordinates((3, 3), 0, 0, 0, rng) == []
+
+    def test_everything_excluded(self, rng):
+        exclude = [(1, 0), (1, 1)]
+        assert (
+            sample_slice_coordinates((2, 2), 0, 1, 3, rng, exclude=exclude) == []
+        )
+
+    def test_invalid_mode_or_index_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            sample_slice_coordinates((3, 3), 2, 0, 1, rng)
+        with pytest.raises(ShapeError):
+            sample_slice_coordinates((3, 3), 0, 3, 1, rng)
+
+    def test_deterministic_with_seed(self):
+        a = sample_slice_coordinates((6, 6, 6), 2, 1, 5, np.random.default_rng(3))
+        b = sample_slice_coordinates((6, 6, 6), 2, 1, 5, np.random.default_rng(3))
+        assert a == b
+
+    def test_large_slice_uses_rejection_sampling(self, rng):
+        # Other-mode space is 1000 x 1000 = 1e6 cells > enumeration limit.
+        samples = sample_slice_coordinates(
+            (1000, 1000, 4), mode=2, index=2, count=25, rng=rng
+        )
+        assert len(samples) == 25
+        assert all(coordinate[2] == 2 for coordinate in samples)

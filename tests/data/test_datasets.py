@@ -1,0 +1,49 @@
+"""Unit tests for dataset metadata (Table II / Table III equivalents)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import DATASETS, PAPER_DATASETS, get_dataset_spec
+from repro.exceptions import ConfigurationError
+
+EXPECTED_NAMES = {"divvy_bikes", "chicago_crime", "nyc_taxi", "ride_austin"}
+
+
+class TestPaperMetadata:
+    def test_all_four_paper_datasets_present(self):
+        assert set(PAPER_DATASETS) == EXPECTED_NAMES
+
+    def test_paper_shapes_match_table_ii(self):
+        assert PAPER_DATASETS["divvy_bikes"].shape == (673, 673, 525_594)
+        assert PAPER_DATASETS["chicago_crime"].shape == (77, 32, 148_464)
+        assert PAPER_DATASETS["nyc_taxi"].shape == (265, 265, 5_184_000)
+        assert PAPER_DATASETS["ride_austin"].shape == (219, 219, 24, 285_136)
+
+    def test_paper_densities_match_table_ii(self):
+        assert PAPER_DATASETS["nyc_taxi"].density == pytest.approx(2.318e-4)
+        assert PAPER_DATASETS["ride_austin"].density == pytest.approx(2.739e-6)
+
+
+class TestSyntheticSpecs:
+    def test_all_four_specs_present(self):
+        assert set(DATASETS) == EXPECTED_NAMES
+
+    def test_table_iii_defaults(self):
+        for name, spec in DATASETS.items():
+            assert spec.rank == 20
+            assert spec.window_length == 10
+            assert spec.eta == 1000.0
+        assert DATASETS["ride_austin"].theta == 50  # the one exception in Table III
+        assert DATASETS["nyc_taxi"].theta == 20
+
+    def test_ride_austin_is_four_mode(self):
+        spec = DATASETS["ride_austin"]
+        assert spec.order == 4
+        assert len(spec.mode_sizes) == 3
+        assert spec.window_shape == (*spec.mode_sizes, 10)
+
+    def test_get_dataset_spec(self):
+        assert get_dataset_spec("nyc_taxi").name == "nyc_taxi"
+        with pytest.raises(ConfigurationError):
+            get_dataset_spec("mnist")

@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import get_dataset_spec
+from repro.data.generators import (
+    SyntheticStreamConfig,
+    generate_dataset,
+    generate_stream,
+    generate_synthetic_stream,
+)
+from repro.exceptions import DataGenerationError
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode_sizes": ()},
+            {"mode_sizes": (0, 3)},
+            {"mode_sizes": (3,), "rank": 0},
+            {"mode_sizes": (3,), "n_records": 0},
+            {"mode_sizes": (3,), "period": 0.0},
+            {"mode_sizes": (3,), "background_rate": 1.5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            SyntheticStreamConfig(**kwargs)
+
+    def test_time_span(self):
+        config = SyntheticStreamConfig(
+            mode_sizes=(5, 5), n_records=1000, period=10.0, records_per_period=100.0
+        )
+        assert config.time_span == pytest.approx(100.0)
+
+
+class TestGenerateStream:
+    def test_basic_shape_and_bounds(self):
+        stream = generate_synthetic_stream(
+            mode_sizes=(6, 4), rank=2, n_records=300, period=10.0,
+            records_per_period=30.0, seed=1,
+        )
+        assert len(stream) == 300
+        assert stream.mode_sizes == (6, 4)
+        for record in stream:
+            assert 0 <= record.indices[0] < 6
+            assert 0 <= record.indices[1] < 4
+            assert record.value > 0
+
+    def test_records_are_chronological(self):
+        stream = generate_synthetic_stream((5, 5), n_records=200, seed=2)
+        times = [record.time for record in stream]
+        assert times == sorted(times)
+
+    def test_deterministic_with_seed(self):
+        a = generate_synthetic_stream((5, 5), n_records=100, seed=9)
+        b = generate_synthetic_stream((5, 5), n_records=100, seed=9)
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_stream((5, 5), n_records=100, seed=1)
+        b = generate_synthetic_stream((5, 5), n_records=100, seed=2)
+        assert a.records != b.records
+
+    def test_low_rank_structure_is_present(self):
+        """A latent-pattern stream is easier to fit at the truth rank than noise."""
+        from repro.als.als import decompose
+
+        stream = generate_synthetic_stream(
+            (15, 15), rank=2, n_records=4000, period=20.0,
+            records_per_period=400.0, seed=3, background_rate=0.0,
+        )
+        config = WindowConfig(mode_sizes=(15, 15), window_length=4, period=20.0)
+        window = ContinuousStreamProcessor(stream, config).window.tensor
+        fitness = decompose(window, rank=4, n_iterations=15, seed=0).fitness
+        assert fitness > 0.35  # clearly better than an unstructured random stream
+
+    def test_mode_names_forwarded(self):
+        config = SyntheticStreamConfig(mode_sizes=(4, 4), n_records=20)
+        stream = generate_stream(config, mode_names=("a", "b"))
+        assert stream.mode_names == ("a", "b")
+
+
+class TestGenerateDataset:
+    def test_scale_thins_but_keeps_span(self):
+        full, spec = generate_dataset("divvy_bikes", scale=1.0)
+        thin, _ = generate_dataset("divvy_bikes", scale=0.25)
+        assert len(thin) == pytest.approx(len(full) * 0.25, rel=0.05)
+        assert thin.duration == pytest.approx(full.duration, rel=0.1)
+
+    def test_spec_matches_registry(self):
+        stream, spec = generate_dataset("ride_austin", scale=0.1)
+        assert spec == get_dataset_spec("ride_austin")
+        assert stream.mode_sizes == spec.mode_sizes
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_dataset("nyc_taxi", scale=0.0)
+
+    def test_seed_override(self):
+        a, _ = generate_dataset("nyc_taxi", scale=0.05, seed=1)
+        b, _ = generate_dataset("nyc_taxi", scale=0.05, seed=2)
+        assert a.records != b.records

@@ -1,0 +1,22 @@
+"""Unit tests for :mod:`repro.data.loaders`."""
+
+from __future__ import annotations
+
+from repro.data.generators import generate_synthetic_stream
+from repro.data.loaders import load_stream_csv
+
+
+class TestLoadStreamCsv:
+    def test_roundtrip_through_csv(self, tmp_path):
+        stream = generate_synthetic_stream((5, 4), n_records=50, seed=0)
+        path = tmp_path / "events.csv"
+        stream.to_csv(path)
+        loaded = load_stream_csv(path, mode_sizes=(5, 4))
+        assert len(loaded) == len(stream)
+        assert loaded.records == stream.records
+
+    def test_loader_sorts_unsorted_files(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text("a,b,value,time\n1,1,2.0,30\n0,0,1.0,10\n")
+        loaded = load_stream_csv(path)
+        assert [record.time for record in loaded] == [10.0, 30.0]

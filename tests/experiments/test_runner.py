@@ -1,0 +1,121 @@
+"""Integration tests for the streaming experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.als.als import decompose
+from repro.data.generators import generate_synthetic_stream
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import (
+    ExperimentResult,
+    MethodResult,
+    method_kind,
+    method_label,
+    run_method,
+)
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+
+@pytest.fixture(scope="module")
+def runner_setup():
+    """A small shared stream / window / initial decomposition."""
+    stream = generate_synthetic_stream(
+        mode_sizes=(10, 9), rank=3, n_records=1200,
+        period=20.0, records_per_period=60.0, seed=21,
+    )
+    window_config = WindowConfig(mode_sizes=(10, 9), window_length=4, period=20.0)
+    processor = ContinuousStreamProcessor(stream, window_config)
+    initial = decompose(processor.window.tensor, rank=5, n_iterations=8, seed=0)
+    return stream, window_config, initial.decomposition, initial.fitness
+
+
+class TestMethodKindAndLabel:
+    def test_kinds(self):
+        assert method_kind("sns_rnd_plus") == "continuous"
+        assert method_kind("als") == "periodic"
+        assert method_kind("necpd(10)") == "periodic"
+        with pytest.raises(ConfigurationError):
+            method_kind("unknown_method")
+
+    def test_labels(self):
+        assert method_label("sns_mat") == "SNS_MAT"
+        assert method_label("cp_stream") == "CP-stream"
+
+
+class TestRunMethod:
+    def test_continuous_method_result(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        result = run_method(
+            stream, window_config, "sns_vec_plus",
+            initial_factors=initial, rank=5,
+            max_events=300, checkpoint_every=100,
+        )
+        assert isinstance(result, MethodResult)
+        assert result.kind == "continuous"
+        assert result.n_updates == 300
+        assert result.n_events == 300
+        assert len(result.fitness_series) == 3
+        assert result.checkpoint_times == sorted(result.checkpoint_times)
+        assert result.mean_update_microseconds > 0
+        assert np.isfinite(result.average_fitness)
+
+    def test_periodic_method_result(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        result = run_method(
+            stream, window_config, "als",
+            initial_factors=initial, rank=5,
+            max_events=600, checkpoint_every=100,
+        )
+        assert result.kind == "periodic"
+        assert result.n_updates >= 1  # at least one boundary crossed
+        assert len(result.fitness_series) == result.n_updates
+        assert result.mean_update_microseconds > 0
+
+    def test_zero_checkpoint_fallback(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        result = run_method(
+            stream, window_config, "sns_vec",
+            initial_factors=initial, rank=5,
+            max_events=10, checkpoint_every=50,
+        )
+        assert len(result.fitness_series) == 1  # falls back to final fitness
+
+
+class TestExperimentResult:
+    @pytest.fixture(scope="class")
+    def experiment(self, runner_setup):
+        stream, window_config, initial, initial_fitness = runner_setup
+        methods = {}
+        for name in ("sns_rnd_plus", "als"):
+            methods[name] = run_method(
+                stream, window_config, name,
+                initial_factors=initial, rank=5, theta=5,
+                max_events=500, checkpoint_every=100,
+            )
+        return ExperimentResult(
+            dataset="unit_test",
+            window_config=window_config,
+            initial_fitness=initial_fitness,
+            methods=methods,
+        )
+
+    def test_reference_relative_series_is_unity(self, experiment):
+        assert experiment.relative_series("als") == [1.0] * len(
+            experiment.methods["als"].fitness_series
+        )
+
+    def test_relative_series_uses_step_reference(self, experiment):
+        series = experiment.relative_series("sns_rnd_plus")
+        assert len(series) == len(experiment.methods["sns_rnd_plus"].fitness_series)
+        assert all(np.isfinite(v) for v in series)
+
+    def test_average_relative_fitness_in_sane_band(self, experiment):
+        value = experiment.average_relative_fitness("sns_rnd_plus")
+        assert 0.3 < value < 1.7
+
+    def test_reference_fitness_before_first_boundary_is_initial(self, experiment):
+        early = experiment.reference_fitness_at(-1.0)
+        assert early == pytest.approx(experiment.initial_fitness)

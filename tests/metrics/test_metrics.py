@@ -1,0 +1,88 @@
+"""Unit tests for the evaluation metrics and timing helpers."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics.errors import (
+    mean_absolute_error,
+    reconstruction_errors,
+    root_mean_squared_error,
+)
+from repro.metrics.fitness import fitness, relative_fitness
+from repro.metrics.timing import Stopwatch, UpdateTimer
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.random import random_factors
+from repro.tensor.sparse import SparseTensor
+
+
+class TestFitness:
+    def test_fitness_delegates_to_kruskal(self, rng):
+        kruskal = KruskalTensor(random_factors((4, 4), rank=2, rng=rng))
+        sparse = SparseTensor.from_dense(kruskal.to_dense())
+        assert fitness(kruskal, sparse) == pytest.approx(1.0, abs=1e-9)
+
+    def test_relative_fitness_ratio(self):
+        assert relative_fitness(0.6, 0.8) == pytest.approx(0.75)
+
+    def test_relative_fitness_degenerate_reference(self):
+        assert math.isnan(relative_fitness(0.5, 0.0))
+        assert math.isnan(relative_fitness(0.5, float("nan")))
+
+
+class TestErrors:
+    @pytest.fixture
+    def kruskal_and_sparse(self, rng):
+        kruskal = KruskalTensor(random_factors((5, 4), rank=2, rng=rng))
+        sparse = SparseTensor((5, 4))
+        for _ in range(8):
+            coordinate = (int(rng.integers(5)), int(rng.integers(4)))
+            sparse.set(coordinate, float(rng.uniform(1.0, 3.0)))
+        return kruskal, sparse
+
+    def test_reconstruction_errors_signs_and_values(self, kruskal_and_sparse):
+        kruskal, sparse = kruskal_and_sparse
+        errors = reconstruction_errors(kruskal, sparse)
+        assert set(errors) == set(sparse.coordinates())
+        for coordinate, error in errors.items():
+            expected = sparse.get(coordinate) - kruskal.value_at(coordinate)
+            assert error == pytest.approx(expected)
+
+    def test_rmse_and_mae(self, kruskal_and_sparse):
+        kruskal, sparse = kruskal_and_sparse
+        errors = np.array(list(reconstruction_errors(kruskal, sparse).values()))
+        assert root_mean_squared_error(kruskal, sparse) == pytest.approx(
+            np.sqrt(np.mean(errors**2))
+        )
+        assert mean_absolute_error(kruskal, sparse) == pytest.approx(
+            np.mean(np.abs(errors))
+        )
+
+    def test_empty_tensor_gives_zero_errors(self, rng):
+        kruskal = KruskalTensor(random_factors((3, 3), rank=2, rng=rng))
+        empty = SparseTensor((3, 3))
+        assert reconstruction_errors(kruskal, empty) == {}
+        assert root_mean_squared_error(kruskal, empty) == 0.0
+        assert mean_absolute_error(kruskal, empty) == 0.0
+
+
+class TestTiming:
+    def test_stopwatch_measures_elapsed_time(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_update_timer_accumulates(self):
+        timer = UpdateTimer()
+        assert timer.mean_seconds == 0.0
+        for _ in range(3):
+            timer.start()
+            time.sleep(0.002)
+            timer.stop()
+        assert timer.n_updates == 3
+        assert timer.mean_seconds >= 0.0015
+        assert timer.mean_microseconds == pytest.approx(1e6 * timer.mean_seconds)

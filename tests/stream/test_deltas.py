@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.stream.deltas` (Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.stream.deltas import Delta
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+
+W = 5
+RECORD = StreamRecord(indices=(2, 3), value=1.5, time=100.0)
+
+
+def make_event(step: int) -> WindowEvent:
+    return WindowEvent(
+        time=RECORD.time + step * 10.0,
+        sequence=0,
+        kind=WindowEvent.kind_for_step(step, W),
+        record=RECORD,
+        step=step,
+    )
+
+
+class TestFromEvent:
+    def test_arrival_adds_to_newest_unit(self):
+        delta = Delta.from_event(make_event(0), W)
+        assert delta.entries == (((2, 3, W - 1), 1.5),)
+        assert delta.kind is EventKind.ARRIVAL
+        assert delta.nnz == 1
+
+    @pytest.mark.parametrize("step", [1, 2, 3, 4])
+    def test_shift_moves_value_one_unit_older(self, step):
+        delta = Delta.from_event(make_event(step), W)
+        entries = dict(delta.entries)
+        assert entries[(2, 3, W - step)] == -1.5
+        assert entries[(2, 3, W - step - 1)] == 1.5
+        assert delta.nnz == 2
+        assert delta.kind is EventKind.SHIFT
+
+    def test_expiry_subtracts_from_oldest_unit(self):
+        delta = Delta.from_event(make_event(W), W)
+        assert delta.entries == (((2, 3, 0), -1.5),)
+        assert delta.kind is EventKind.EXPIRY
+
+    def test_shift_conserves_mass(self):
+        for step in range(1, W):
+            delta = Delta.from_event(make_event(step), W)
+            assert sum(value for _, value in delta.entries) == pytest.approx(0.0)
+
+    def test_invalid_window_length_rejected(self):
+        with pytest.raises(ShapeError):
+            Delta.from_event(make_event(0), 0)
+
+    def test_invalid_step_rejected(self):
+        bad_event = WindowEvent(
+            time=0.0, sequence=0, kind=EventKind.SHIFT, record=RECORD, step=W + 1
+        )
+        with pytest.raises(ShapeError):
+            Delta.from_event(bad_event, W)
+
+
+class TestAccessors:
+    def test_categorical_and_time_indices(self):
+        delta = Delta.from_event(make_event(2), W)
+        assert delta.categorical_indices == (2, 3)
+        assert delta.time_indices == (W - 2, W - 3)
+
+    def test_value_at(self):
+        delta = Delta.from_event(make_event(2), W)
+        assert delta.value_at((2, 3, W - 2)) == -1.5
+        assert delta.value_at((2, 3, W - 3)) == 1.5
+        assert delta.value_at((0, 0, 0)) == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.stream.events`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+
+
+class TestStreamRecord:
+    def test_fields_are_normalised(self):
+        record = StreamRecord(indices=[1, 2], value=3, time=10)
+        assert record.indices == (1, 2)
+        assert isinstance(record.value, float)
+        assert isinstance(record.time, float)
+
+    def test_empty_indices_rejected(self):
+        with pytest.raises(ShapeError):
+            StreamRecord(indices=(), value=1.0, time=0.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ShapeError):
+            StreamRecord(indices=(0, -1), value=1.0, time=0.0)
+
+    def test_records_are_hashable_and_comparable(self):
+        a = StreamRecord((0, 1), 1.0, 2.0)
+        b = StreamRecord((0, 1), 1.0, 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestWindowEvent:
+    def test_ordering_by_time_then_sequence(self):
+        record = StreamRecord((0,), 1.0, 0.0)
+        early = WindowEvent(time=1.0, sequence=5, kind=EventKind.ARRIVAL, record=record, step=0)
+        later = WindowEvent(time=2.0, sequence=0, kind=EventKind.ARRIVAL, record=record, step=0)
+        tie = WindowEvent(time=1.0, sequence=6, kind=EventKind.SHIFT, record=record, step=1)
+        assert early < later
+        assert early < tie
+
+    @pytest.mark.parametrize(
+        ("step", "window", "expected"),
+        [
+            (0, 5, EventKind.ARRIVAL),
+            (1, 5, EventKind.SHIFT),
+            (4, 5, EventKind.SHIFT),
+            (5, 5, EventKind.EXPIRY),
+        ],
+    )
+    def test_kind_for_step(self, step, window, expected):
+        assert WindowEvent.kind_for_step(step, window) is expected
+
+    @pytest.mark.parametrize("step", [-1, 6])
+    def test_kind_for_invalid_step_rejected(self, step):
+        with pytest.raises(ShapeError):
+            WindowEvent.kind_for_step(step, 5)

@@ -1,0 +1,46 @@
+"""Unit tests for :mod:`repro.stream.scheduler`."""
+
+from __future__ import annotations
+
+from repro.stream.events import EventKind, StreamRecord
+from repro.stream.scheduler import EventScheduler
+
+RECORD = StreamRecord(indices=(0,), value=1.0, time=0.0)
+
+
+class TestEventScheduler:
+    def test_events_pop_in_time_order(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, EventKind.SHIFT, RECORD, 1)
+        scheduler.schedule(1.0, EventKind.ARRIVAL, RECORD, 0)
+        scheduler.schedule(3.0, EventKind.SHIFT, RECORD, 1)
+        times = [event.time for event in scheduler.drain()]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(2.0, EventKind.SHIFT, RECORD, 1)
+        second = scheduler.schedule(2.0, EventKind.EXPIRY, RECORD, 2)
+        assert scheduler.pop() is first
+        assert scheduler.pop() is second
+
+    def test_peek_time(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek_time() is None
+        scheduler.schedule(4.0, EventKind.ARRIVAL, RECORD, 0)
+        assert scheduler.peek_time() == 4.0
+        assert len(scheduler) == 1
+
+    def test_pop_until(self):
+        scheduler = EventScheduler()
+        for time in (1.0, 2.0, 3.0, 4.0):
+            scheduler.schedule(time, EventKind.ARRIVAL, RECORD, 0)
+        popped = [event.time for event in scheduler.pop_until(2.5)]
+        assert popped == [1.0, 2.0]
+        assert len(scheduler) == 2
+
+    def test_sequence_numbers_increase(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule(1.0, EventKind.ARRIVAL, RECORD, 0)
+        second = scheduler.schedule(1.0, EventKind.ARRIVAL, RECORD, 0)
+        assert second.sequence > first.sequence

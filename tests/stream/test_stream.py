@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.stream.stream`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexOutOfBoundsError, ShapeError, StreamOrderError
+from repro.stream.events import StreamRecord
+from repro.stream.stream import MultiAspectStream
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_stream):
+        assert len(tiny_stream) == 5
+        assert tiny_stream.mode_sizes == (3, 2)
+        assert tiny_stream.order == 3
+        assert tiny_stream.start_time == 0.0
+        assert tiny_stream.end_time == 33.0
+        assert tiny_stream.duration == 33.0
+
+    def test_mode_sizes_inferred_when_omitted(self, tiny_records):
+        stream = MultiAspectStream(tiny_records)
+        assert stream.mode_sizes == (3, 2)
+
+    def test_default_mode_names(self, tiny_stream):
+        assert tiny_stream.mode_names == ("mode_0", "mode_1")
+
+    def test_custom_mode_names(self, tiny_records):
+        stream = MultiAspectStream(
+            tiny_records, mode_sizes=(3, 2), mode_names=("src", "dst")
+        )
+        assert stream.mode_names == ("src", "dst")
+
+    def test_wrong_number_of_mode_names_rejected(self, tiny_records):
+        with pytest.raises(ShapeError):
+            MultiAspectStream(tiny_records, mode_sizes=(3, 2), mode_names=("only",))
+
+    def test_out_of_order_records_rejected(self):
+        records = [StreamRecord((0,), 1.0, 5.0), StreamRecord((0,), 1.0, 1.0)]
+        with pytest.raises(StreamOrderError):
+            MultiAspectStream(records, mode_sizes=(1,))
+
+    def test_sort_flag_sorts(self):
+        records = [StreamRecord((0,), 1.0, 5.0), StreamRecord((0,), 2.0, 1.0)]
+        stream = MultiAspectStream(records, mode_sizes=(1,), sort=True)
+        assert [r.time for r in stream] == [1.0, 5.0]
+
+    def test_index_exceeding_mode_size_rejected(self):
+        with pytest.raises(IndexOutOfBoundsError):
+            MultiAspectStream([StreamRecord((5,), 1.0, 0.0)], mode_sizes=(3,))
+
+    def test_inconsistent_arity_rejected(self):
+        records = [StreamRecord((0, 1), 1.0, 0.0), StreamRecord((0,), 1.0, 1.0)]
+        with pytest.raises(ShapeError):
+            MultiAspectStream(records)
+
+    def test_empty_stream_properties_raise(self):
+        stream = MultiAspectStream([])
+        with pytest.raises(StreamOrderError):
+            _ = stream.start_time
+        with pytest.raises(StreamOrderError):
+            _ = stream.end_time
+
+
+class TestFromArrays:
+    def test_roundtrip(self):
+        indices = np.array([[0, 1], [2, 0], [1, 1]])
+        values = np.array([1.0, 2.0, 3.0])
+        times = np.array([0.0, 1.0, 2.0])
+        stream = MultiAspectStream.from_arrays(indices, values, times)
+        assert len(stream) == 3
+        assert stream[1].indices == (2, 0)
+        assert stream[2].value == 3.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            MultiAspectStream.from_arrays(
+                np.zeros((3, 2)), np.zeros(2), np.zeros(3)
+            )
+
+    def test_one_dimensional_indices_rejected(self):
+        with pytest.raises(ShapeError):
+            MultiAspectStream.from_arrays(np.zeros(3), np.zeros(3), np.zeros(3))
+
+
+class TestCsvRoundtrip:
+    def test_to_and_from_csv(self, tiny_stream, tmp_path):
+        path = tmp_path / "stream.csv"
+        tiny_stream.to_csv(path)
+        loaded = MultiAspectStream.from_csv(path, mode_sizes=(3, 2))
+        assert len(loaded) == len(tiny_stream)
+        for original, loaded_record in zip(tiny_stream, loaded):
+            assert original == loaded_record
+
+    def test_from_csv_without_header(self, tiny_stream, tmp_path):
+        path = tmp_path / "stream_no_header.csv"
+        tiny_stream.to_csv(path, mode_header=False)
+        loaded = MultiAspectStream.from_csv(path, has_header=False)
+        assert len(loaded) == len(tiny_stream)
+
+
+class TestSlicing:
+    def test_between_is_half_open(self, tiny_stream):
+        window = tiny_stream.between(0.0, 12.0)
+        assert [r.time for r in window] == [5.0, 12.0]
+
+    def test_head(self, tiny_stream):
+        assert len(tiny_stream.head(2)) == 2
+
+    def test_value_total_and_max(self, tiny_stream):
+        assert tiny_stream.value_total() == pytest.approx(8.0)
+        assert tiny_stream.max_abs_value() == pytest.approx(3.0)
+
+    def test_max_abs_value_of_empty_stream(self):
+        assert MultiAspectStream([]).max_abs_value() == 0.0

@@ -1,0 +1,61 @@
+"""Property-based tests for :class:`MultiAspectStream` slicing invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.events import StreamRecord
+from repro.stream.stream import MultiAspectStream
+
+
+@st.composite
+def streams(draw):
+    """Small random streams over a 4 x 3 categorical space."""
+    n_records = draw(st.integers(min_value=1, max_value=30))
+    records = []
+    time = 0.0
+    for _ in range(n_records):
+        time += draw(st.integers(min_value=0, max_value=5))
+        records.append(
+            StreamRecord(
+                indices=(
+                    draw(st.integers(min_value=0, max_value=3)),
+                    draw(st.integers(min_value=0, max_value=2)),
+                ),
+                value=float(draw(st.integers(min_value=1, max_value=9))),
+                time=float(time),
+            )
+        )
+    return MultiAspectStream(records, mode_sizes=(4, 3))
+
+
+@given(streams(), st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_between_partitions_value_total(stream, split_a, split_b):
+    """Splitting the time axis at any point partitions the total value."""
+    low, high = sorted((float(split_a), float(split_b)))
+    before = stream.between(float("-inf"), low)
+    middle = stream.between(low, high)
+    after = stream.between(high, float("inf"))
+    assert len(before) + len(middle) + len(after) == len(stream)
+    total = before.value_total() + middle.value_total() + after.value_total()
+    assert total == pytest.approx(stream.value_total())
+
+
+@given(streams(), st.integers(min_value=0, max_value=35))
+@settings(max_examples=60, deadline=None)
+def test_head_is_a_chronological_prefix(stream, n_records):
+    head = stream.head(n_records)
+    assert len(head) == min(n_records, len(stream))
+    assert head.records == stream.records[: len(head)]
+    if len(head) > 0:
+        assert head.end_time <= stream.end_time
+
+
+@given(streams())
+@settings(max_examples=40, deadline=None)
+def test_max_abs_value_bounds_every_record(stream):
+    bound = stream.max_abs_value()
+    assert all(abs(record.value) <= bound for record in stream)

@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.stream.window`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.stream.deltas import Delta
+from repro.stream.events import EventKind, StreamRecord, WindowEvent
+from repro.stream.window import TensorWindow, WindowConfig
+
+
+class TestWindowConfig:
+    def test_properties(self):
+        config = WindowConfig(mode_sizes=(4, 3), window_length=5, period=10.0)
+        assert config.shape == (4, 3, 5)
+        assert config.order == 3
+        assert config.time_mode == 2
+        assert config.span == 50.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode_sizes": (), "window_length": 5, "period": 1.0},
+            {"mode_sizes": (0, 3), "window_length": 5, "period": 1.0},
+            {"mode_sizes": (3,), "window_length": 0, "period": 1.0},
+            {"mode_sizes": (3,), "window_length": 5, "period": 0.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WindowConfig(**kwargs)
+
+
+class TestTensorWindow:
+    @pytest.fixture
+    def window(self) -> TensorWindow:
+        return TensorWindow(WindowConfig(mode_sizes=(3, 2), window_length=4, period=5.0))
+
+    def test_initially_empty(self, window):
+        assert window.nnz == 0
+        assert window.norm() == 0.0
+        assert window.newest_unit_index == 3
+
+    def test_apply_arrival_delta(self, window):
+        record = StreamRecord((1, 0), 2.0, 0.0)
+        event = WindowEvent(0.0, 0, EventKind.ARRIVAL, record, 0)
+        window.apply_delta(Delta.from_event(event, 4))
+        assert window.tensor.get((1, 0, 3)) == 2.0
+        assert window.n_deltas_applied == 1
+
+    def test_apply_full_record_lifecycle_conserves_nothing(self, window):
+        """Arrival + all shifts + expiry leave the window empty again."""
+        record = StreamRecord((2, 1), 1.5, 0.0)
+        for step in range(0, 5):
+            event = WindowEvent(
+                step * 5.0, step, WindowEvent.kind_for_step(step, 4), record, step
+            )
+            window.apply_delta(Delta.from_event(event, 4))
+        assert window.nnz == 0
+        assert window.total() == pytest.approx(0.0)
+
+    def test_add_entry_and_unit_queries(self, window):
+        window.add_entry((0, 1), unit=2, value=3.0)
+        window.add_entry((1, 1), unit=2, value=1.0)
+        window.add_entry((1, 0), unit=0, value=2.0)
+        assert window.unit_nnz(2) == 2
+        assert window.unit_nnz(0) == 1
+        assert window.unit_nnz(3) == 0
+        assert dict(window.unit_entries(2)) == {(0, 1, 2): 3.0, (1, 1, 2): 1.0}
+        assert window.total() == pytest.approx(6.0)
+
+    def test_unit_out_of_range_rejected(self, window):
+        with pytest.raises(ShapeError):
+            list(window.unit_entries(4))
+
+    def test_bad_delta_coordinate_rejected(self, window):
+        record = StreamRecord((1,), 2.0, 0.0)  # only one categorical index
+        event = WindowEvent(0.0, 0, EventKind.ARRIVAL, record, 0)
+        with pytest.raises(ShapeError):
+            window.apply_delta(Delta.from_event(event, 4))
+
+    def test_copy_is_independent(self, window):
+        window.add_entry((0, 0), 0, 1.0)
+        clone = window.copy()
+        clone.add_entry((0, 0), 0, 1.0)
+        assert window.tensor.get((0, 0, 0)) == 1.0
+        assert clone.tensor.get((0, 0, 0)) == 2.0
+
+    def test_clear(self, window):
+        window.add_entry((0, 0), 0, 1.0)
+        window.clear()
+        assert window.nnz == 0
+        assert window.n_deltas_applied == 0

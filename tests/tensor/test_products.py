@@ -1,0 +1,114 @@
+"""Unit tests for :mod:`repro.tensor.products`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.products import (
+    gram,
+    hadamard,
+    hadamard_all,
+    hadamard_of_grams,
+    khatri_rao,
+    khatri_rao_all,
+    outer,
+)
+
+
+class TestHadamard:
+    def test_elementwise_product(self, rng):
+        left = rng.normal(size=(4, 3))
+        right = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(hadamard(left, right), left * right)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            hadamard(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_hadamard_all_of_three(self, rng):
+        matrices = [rng.normal(size=(3, 3)) for _ in range(3)]
+        expected = matrices[0] * matrices[1] * matrices[2]
+        np.testing.assert_allclose(hadamard_all(matrices), expected)
+
+    def test_hadamard_all_single(self, rng):
+        matrix = rng.normal(size=(2, 2))
+        np.testing.assert_allclose(hadamard_all([matrix]), matrix)
+
+    def test_hadamard_all_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            hadamard_all([])
+
+
+class TestKhatriRao:
+    def test_columns_are_kronecker_products(self, rng):
+        left = rng.normal(size=(3, 4))
+        right = rng.normal(size=(5, 4))
+        result = khatri_rao(left, right)
+        assert result.shape == (15, 4)
+        for column in range(4):
+            np.testing.assert_allclose(
+                result[:, column], np.kron(left[:, column], right[:, column])
+            )
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_vector_input_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao(np.ones(3), np.ones((2, 3)))
+
+    def test_khatri_rao_all_is_left_associative(self, rng):
+        a, b, c = (rng.normal(size=(n, 2)) for n in (2, 3, 4))
+        np.testing.assert_allclose(
+            khatri_rao_all([a, b, c]), khatri_rao(khatri_rao(a, b), c)
+        )
+
+    def test_khatri_rao_all_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            khatri_rao_all([])
+
+
+class TestOuter:
+    def test_outer_of_three_vectors(self, rng):
+        a, b, c = rng.normal(size=3), rng.normal(size=4), rng.normal(size=2)
+        result = outer([a, b, c])
+        assert result.shape == (3, 4, 2)
+        np.testing.assert_allclose(result, np.einsum("i,j,k->ijk", a, b, c))
+
+    def test_outer_single_vector(self):
+        np.testing.assert_allclose(outer([np.array([1.0, 2.0])]), [1.0, 2.0])
+
+    def test_outer_rejects_matrices(self):
+        with pytest.raises(ShapeError):
+            outer([np.ones((2, 2))])
+
+    def test_outer_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            outer([])
+
+
+class TestGrams:
+    def test_gram(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(gram(matrix), matrix.T @ matrix)
+
+    def test_gram_rejects_vectors(self):
+        with pytest.raises(ShapeError):
+            gram(np.ones(4))
+
+    def test_hadamard_of_grams_skip(self, rng):
+        factors = [rng.normal(size=(n, 3)) for n in (4, 5, 6)]
+        expected = (factors[0].T @ factors[0]) * (factors[2].T @ factors[2])
+        np.testing.assert_allclose(hadamard_of_grams(factors, skip=1), expected)
+
+    def test_hadamard_of_grams_no_skip(self, rng):
+        factors = [rng.normal(size=(n, 2)) for n in (3, 4)]
+        expected = (factors[0].T @ factors[0]) * (factors[1].T @ factors[1])
+        np.testing.assert_allclose(hadamard_of_grams(factors), expected)
+
+    def test_hadamard_of_grams_all_skipped_rejected(self):
+        with pytest.raises(ShapeError):
+            hadamard_of_grams([np.ones((2, 2))], skip=0)

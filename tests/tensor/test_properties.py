@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the tensor substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.products import khatri_rao
+from repro.tensor.sparse import SparseTensor
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+shapes = st.lists(st.integers(min_value=1, max_value=5), min_size=2, max_size=4).map(
+    tuple
+)
+values = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def tensor_and_operations(draw):
+    """A shape plus a sequence of (coordinate, delta) add operations."""
+    shape = draw(shapes)
+    n_operations = draw(st.integers(min_value=0, max_value=25))
+    operations = []
+    for _ in range(n_operations):
+        coordinate = tuple(
+            draw(st.integers(min_value=0, max_value=length - 1)) for length in shape
+        )
+        operations.append((coordinate, draw(values)))
+    return shape, operations
+
+
+# ----------------------------------------------------------------------
+# SparseTensor invariants
+# ----------------------------------------------------------------------
+@given(tensor_and_operations())
+@settings(max_examples=60, deadline=None)
+def test_sparse_tensor_matches_dense_reference(case):
+    """Applying adds keeps the sparse tensor equal to a dense reference array."""
+    shape, operations = case
+    tensor = SparseTensor(shape)
+    reference = np.zeros(shape)
+    for coordinate, delta in operations:
+        tensor.add(coordinate, delta)
+        reference[coordinate] += delta
+    np.testing.assert_allclose(tensor.to_dense(), reference, atol=1e-9)
+    assert tensor.norm() == pytest.approx(np.linalg.norm(reference), abs=1e-9)
+
+
+@given(tensor_and_operations())
+@settings(max_examples=60, deadline=None)
+def test_mode_index_consistent_with_entries(case):
+    """The per-mode inverted index exactly partitions the non-zero set."""
+    shape, operations = case
+    tensor = SparseTensor(shape)
+    for coordinate, delta in operations:
+        tensor.add(coordinate, delta)
+    coordinates = set(tensor.coordinates())
+    for mode in range(len(shape)):
+        listed = set()
+        for index in range(shape[mode]):
+            slice_coordinates = {c for c, _ in tensor.mode_slice(mode, index)}
+            assert all(c[mode] == index for c in slice_coordinates)
+            assert len(slice_coordinates) == tensor.degree(mode, index)
+            listed |= slice_coordinates
+        assert listed == coordinates
+
+
+# ----------------------------------------------------------------------
+# Product identities
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_khatri_rao_gram_identity(rows_left, rows_right, rank, seed):
+    """(A ⊙ B)'(A ⊙ B) == (A'A) * (B'B)  — Eq. (8) of the paper."""
+    rng = np.random.default_rng(seed)
+    left = rng.normal(size=(rows_left, rank))
+    right = rng.normal(size=(rows_right, rank))
+    kr = khatri_rao(left, right)
+    np.testing.assert_allclose(
+        kr.T @ kr, (left.T @ left) * (right.T @ right), atol=1e-8
+    )
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_kruskal_norm_identity(n_rows, n_cols, rank, seed):
+    """The Gram-based Kruskal norm equals the dense Frobenius norm."""
+    rng = np.random.default_rng(seed)
+    factors = [rng.normal(size=(n_rows, rank)), rng.normal(size=(n_cols, rank))]
+    weights = rng.uniform(0.1, 2.0, size=rank)
+    kruskal = KruskalTensor(factors, weights)
+    assert kruskal.norm() == pytest.approx(
+        np.linalg.norm(kruskal.to_dense()), rel=1e-8, abs=1e-8
+    )
+

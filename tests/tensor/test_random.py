@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.tensor.random`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RankError, ShapeError
+from repro.tensor.random import (
+    random_factors,
+    random_kruskal,
+    random_low_rank_sparse_tensor,
+    random_sparse_tensor,
+)
+
+
+class TestRandomFactors:
+    def test_shapes(self, rng):
+        factors = random_factors((3, 5, 2), rank=4, rng=rng)
+        assert [f.shape for f in factors] == [(3, 4), (5, 4), (2, 4)]
+
+    def test_nonnegative_by_default(self, rng):
+        factors = random_factors((10, 10), rank=3, rng=rng)
+        assert all((f >= 0).all() for f in factors)
+
+    def test_signed_when_requested(self, rng):
+        factors = random_factors((50, 50), rank=3, rng=rng, nonnegative=False)
+        assert any((f < 0).any() for f in factors)
+
+    def test_deterministic_with_seed(self):
+        a = random_factors((4, 4), 2, rng=np.random.default_rng(1))
+        b = random_factors((4, 4), 2, rng=np.random.default_rng(1))
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_invalid_rank_rejected(self, rng):
+        with pytest.raises(RankError):
+            random_factors((3, 3), rank=0, rng=rng)
+
+    def test_invalid_shape_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            random_factors((3, 0), rank=2, rng=rng)
+
+
+class TestRandomKruskal:
+    def test_shape_and_rank(self, rng):
+        kruskal = random_kruskal((3, 4), rank=2, rng=rng)
+        assert kruskal.shape == (3, 4)
+        assert kruskal.rank == 2
+
+
+class TestRandomSparseTensor:
+    def test_density_is_respected(self, rng):
+        tensor = random_sparse_tensor((20, 20), density=0.1, rng=rng)
+        assert 0 < tensor.nnz <= 40
+
+    def test_zero_density(self, rng):
+        assert random_sparse_tensor((5, 5), density=0.0, rng=rng).nnz == 0
+
+    def test_invalid_density_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            random_sparse_tensor((5, 5), density=1.5, rng=rng)
+
+    def test_values_in_range(self, rng):
+        tensor = random_sparse_tensor(
+            (10, 10), density=0.2, rng=rng, value_low=1.0, value_high=2.0
+        )
+        assert all(1.0 <= value <= 2.0 for _, value in tensor.items())
+
+
+class TestLowRankSparseTensor:
+    def test_returns_tensor_and_truth(self, rng):
+        tensor, truth = random_low_rank_sparse_tensor(
+            (8, 8, 4), rank=2, density=0.1, rng=rng, noise=0.0
+        )
+        assert tensor.shape == (8, 8, 4)
+        assert truth.rank == 2
+        # With zero noise every stored value equals the truth's reconstruction.
+        for coordinate, value in tensor.items():
+            assert value == pytest.approx(truth.value_at(coordinate), abs=1e-9)

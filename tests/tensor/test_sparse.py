@@ -1,0 +1,203 @@
+"""Unit tests for :mod:`repro.tensor.sparse`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexOutOfBoundsError, ShapeError
+from repro.tensor.sparse import DROP_TOLERANCE, SparseTensor
+
+
+class TestConstruction:
+    def test_empty_tensor_has_no_nonzeros(self):
+        tensor = SparseTensor((3, 4, 5))
+        assert tensor.nnz == 0
+        assert tensor.shape == (3, 4, 5)
+        assert tensor.order == 3
+        assert tensor.size == 60
+
+    def test_initial_entries_are_stored(self):
+        tensor = SparseTensor((2, 2), entries={(0, 1): 2.0, (1, 0): -1.5})
+        assert tensor.get((0, 1)) == 2.0
+        assert tensor.get((1, 0)) == -1.5
+        assert tensor.nnz == 2
+
+    def test_initial_near_zero_entries_are_dropped(self):
+        tensor = SparseTensor((2, 2), entries={(0, 0): DROP_TOLERANCE / 2})
+        assert tensor.nnz == 0
+
+    def test_zero_mode_length_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor((3, 0))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(())
+
+    def test_density(self):
+        tensor = SparseTensor((2, 5), entries={(0, 0): 1.0, (1, 4): 1.0})
+        assert tensor.density == pytest.approx(0.2)
+
+
+class TestEntryAccess:
+    def test_get_missing_entry_returns_zero(self):
+        tensor = SparseTensor((3, 3))
+        assert tensor.get((2, 2)) == 0.0
+
+    def test_getitem_setitem(self):
+        tensor = SparseTensor((3, 3))
+        tensor[1, 2] = 4.0
+        assert tensor[1, 2] == 4.0
+
+    def test_set_to_zero_removes_entry(self):
+        tensor = SparseTensor((3, 3), entries={(1, 1): 2.0})
+        tensor.set((1, 1), 0.0)
+        assert tensor.nnz == 0
+        assert (1, 1) not in set(tensor.coordinates())
+
+    def test_add_accumulates(self):
+        tensor = SparseTensor((3, 3))
+        tensor.add((0, 0), 1.5)
+        tensor.add((0, 0), 2.5)
+        assert tensor.get((0, 0)) == pytest.approx(4.0)
+
+    def test_add_then_subtract_removes_entry(self):
+        tensor = SparseTensor((3, 3))
+        tensor.add((0, 1), 3.0)
+        tensor.add((0, 1), -3.0)
+        assert tensor.nnz == 0
+        assert tensor.degree(0, 0) == 0
+        assert tensor.degree(1, 1) == 0
+
+    def test_wrong_coordinate_length_rejected(self):
+        tensor = SparseTensor((3, 3))
+        with pytest.raises(ShapeError):
+            tensor.get((1, 2, 3))
+
+    def test_out_of_bounds_rejected(self):
+        tensor = SparseTensor((3, 3))
+        with pytest.raises(IndexOutOfBoundsError):
+            tensor.set((3, 0), 1.0)
+        with pytest.raises(IndexOutOfBoundsError):
+            tensor.set((0, -1), 1.0)
+
+
+class TestModeIndex:
+    def test_mode_slice_returns_matching_entries(self):
+        tensor = SparseTensor(
+            (3, 3), entries={(0, 0): 1.0, (0, 2): 2.0, (1, 1): 3.0}
+        )
+        entries = dict(tensor.mode_slice(0, 0))
+        assert entries == {(0, 0): 1.0, (0, 2): 2.0}
+
+    def test_degree_counts_nonzeros_per_index(self):
+        tensor = SparseTensor(
+            (3, 3), entries={(0, 0): 1.0, (0, 2): 2.0, (1, 2): 3.0}
+        )
+        assert tensor.degree(0, 0) == 2
+        assert tensor.degree(0, 1) == 1
+        assert tensor.degree(0, 2) == 0
+        assert tensor.degree(1, 1) == 0
+        assert tensor.degree(1, 2) == 2
+
+    def test_mode_indices(self):
+        tensor = SparseTensor((3, 4), entries={(0, 1): 1.0, (2, 1): 1.0})
+        assert tensor.mode_indices(0) == {0, 2}
+        assert tensor.mode_indices(1) == {1}
+
+    def test_mode_index_updated_on_removal(self):
+        tensor = SparseTensor((3, 3), entries={(0, 0): 1.0})
+        tensor.set((0, 0), 0.0)
+        assert tensor.mode_indices(0) == set()
+
+    def test_invalid_mode_rejected(self):
+        tensor = SparseTensor((3, 3))
+        with pytest.raises(ShapeError):
+            tensor.degree(2, 0)
+
+
+class TestReductions:
+    def test_norm_matches_dense(self, small_tensor):
+        dense = small_tensor.to_dense()
+        assert small_tensor.norm() == pytest.approx(np.linalg.norm(dense))
+        assert small_tensor.squared_norm() == pytest.approx(np.sum(dense**2))
+
+    def test_total(self):
+        tensor = SparseTensor((2, 2), entries={(0, 0): 1.5, (1, 1): 2.5})
+        assert tensor.total() == pytest.approx(4.0)
+
+    def test_norm_of_empty_tensor_is_zero(self):
+        assert SparseTensor((4, 4)).norm() == 0.0
+
+    def test_inner_product_matches_dense(self, rng):
+        left = SparseTensor((4, 4))
+        right = SparseTensor((4, 4))
+        for _ in range(8):
+            left.set((int(rng.integers(4)), int(rng.integers(4))), float(rng.normal()))
+            right.set((int(rng.integers(4)), int(rng.integers(4))), float(rng.normal()))
+        expected = float(np.sum(left.to_dense() * right.to_dense()))
+        assert left.inner(right) == pytest.approx(expected)
+        assert right.inner(left) == pytest.approx(expected)
+
+    def test_inner_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseTensor((2, 2)).inner(SparseTensor((2, 3)))
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, small_tensor):
+        dense = small_tensor.to_dense()
+        rebuilt = SparseTensor.from_dense(dense)
+        assert rebuilt.allclose(small_tensor)
+
+    def test_to_coo_arrays(self):
+        tensor = SparseTensor((2, 3), entries={(0, 1): 2.0, (1, 2): -1.0})
+        indices, values = tensor.to_coo_arrays()
+        assert indices.shape == (2, 2)
+        assert values.shape == (2,)
+        rebuilt = {tuple(index): value for index, value in zip(indices, values)}
+        assert rebuilt == {(0, 1): 2.0, (1, 2): -1.0}
+
+    def test_to_coo_arrays_empty(self):
+        indices, values = SparseTensor((2, 3)).to_coo_arrays()
+        assert indices.shape == (0, 2)
+        assert values.shape == (0,)
+
+    def test_copy_is_independent(self):
+        tensor = SparseTensor((2, 2), entries={(0, 0): 1.0})
+        clone = tensor.copy()
+        clone.set((0, 0), 5.0)
+        clone.set((1, 1), 2.0)
+        assert tensor.get((0, 0)) == 1.0
+        assert tensor.nnz == 1
+        assert clone.nnz == 2
+
+    def test_allclose_detects_difference(self):
+        left = SparseTensor((2, 2), entries={(0, 0): 1.0})
+        right = SparseTensor((2, 2), entries={(0, 0): 1.0 + 1e-3})
+        assert not left.allclose(right)
+        assert left.allclose(right, atol=1e-2)
+
+    def test_allclose_shape_mismatch(self):
+        assert not SparseTensor((2, 2)).allclose(SparseTensor((2, 3)))
+
+
+class TestIteration:
+    def test_items_and_len(self):
+        tensor = SparseTensor((3, 3), entries={(0, 0): 1.0, (1, 2): 2.0})
+        assert len(tensor) == 2
+        assert dict(tensor.items()) == {(0, 0): 1.0, (1, 2): 2.0}
+
+    def test_mode_slice_snapshot_allows_mutation(self):
+        tensor = SparseTensor((3, 3), entries={(0, 0): 1.0, (0, 1): 2.0})
+        for coordinate, _ in tensor.mode_slice(0, 0):
+            tensor.set(coordinate, 0.0)  # must not raise during iteration
+        assert tensor.nnz == 0
+
+    def test_float_nan_not_special_cased(self):
+        tensor = SparseTensor((2, 2))
+        tensor.set((0, 0), math.inf)
+        assert math.isinf(tensor.get((0, 0)))

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert set(EXPERIMENTS) >= {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_dataset_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--dataset", "imagenet"])
+
+
+class TestTableCommands:
+    def test_table2_lists_paper_datasets(self):
+        output = run(["table2"])
+        assert "Divvy Bikes" in output
+        assert "New York Taxi" in output
+        assert "Table II" in output
+
+    def test_table3_lists_hyperparameters(self):
+        output = run(["table3"])
+        assert "Table III" in output
+        assert "theta" in output
+        assert "ride_austin" in output
+
+    def test_main_prints_and_returns_zero(self, capsys):
+        assert main(["table3"]) == 0
+        captured = capsys.readouterr()
+        assert "Table III" in captured.out
+
+
+class TestExperimentCommand:
+    def test_fig8_runs_at_tiny_scale(self):
+        output = run(
+            ["fig8", "--dataset", "chicago_crime", "--scale", "0.08",
+             "--max-events", "120", "--seed", "1"]
+        )
+        assert "Fig. 8" in output

@@ -1,0 +1,53 @@
+"""Package-level tests: public API surface, version, and metadata."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.tensor",
+            "repro.stream",
+            "repro.als",
+            "repro.core",
+            "repro.baselines",
+            "repro.data",
+            "repro.metrics",
+            "repro.anomaly",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} is missing a module docstring"
+
+    def test_algorithm_and_baseline_registries_are_disjoint(self):
+        from repro.baselines import available_baselines
+        from repro.core import available_algorithms
+
+        assert not set(available_algorithms()) & set(available_baselines())
+
+    def test_exceptions_share_base_class(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and name != "ReproError":
+                if obj.__module__ == "repro.exceptions":
+                    assert issubclass(obj, exceptions.ReproError)
