@@ -9,6 +9,7 @@ the real stdout (``sys.__stdout__``), so it appears inline in
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -23,4 +24,12 @@ def emit(name: str, report: str) -> Path:
     stream = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
     stream.write(f"\n===== {name} =====\n{report}\n")
     stream.flush()
+    return path
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result entry to ``results/<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -26,9 +26,27 @@ def mttkrp(
         )
     if not 0 <= mode < tensor.order:
         raise ShapeError(f"mode {mode} out of range for order {tensor.order}")
-    rank = factors[0].shape[1]
-    result = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
     indices, values = tensor.to_coo_arrays()
+    return mttkrp_coo(indices, values, factors, mode, tensor.shape[mode])
+
+
+def mttkrp_coo(
+    indices: np.ndarray,
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    mode_size: int,
+) -> np.ndarray:
+    """MTTKRP over prebuilt COO arrays (``(nnz, M)`` indices, ``(nnz,)`` values).
+
+    Identical — operation for operation — to :func:`mttkrp` on the tensor
+    those arrays came from.  Callers that solve several modes against the
+    same tensor state (one ALS sweep, or SNS_MAT's per-event sweep inside
+    ``update_batch``) build the arrays once and amortise the
+    ``SparseTensor.to_coo_arrays`` conversion across modes.
+    """
+    rank = factors[0].shape[1]
+    result = np.zeros((mode_size, rank), dtype=np.float64)
     if values.size == 0:
         return result
     product = np.broadcast_to(values[:, None], (values.size, rank)).copy()

@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.3, help="dataset size multiplier"
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help=(
+            "replay events through the batched engine (run_batched / "
+            "update_batch): higher throughput, results equivalent for the "
+            "SliceNStitch variants (periodic baselines update at exact "
+            "period boundaries instead of on the first event past them)"
+        ),
+    )
     return parser
 
 
@@ -75,6 +85,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         scale=args.scale,
         max_events=args.max_events,
         seed=args.seed,
+        batched=args.batched,
     )
 
 
@@ -90,6 +101,7 @@ def run(argv: Sequence[str] | None = None) -> str:
             "scale": args.scale,
             "max_events": args.max_events,
             "seed": args.seed,
+            "batched": args.batched,
         }
         return format_speed_fitness(run_speed_fitness(settings_overrides=overrides))
     if args.experiment == "fig6":

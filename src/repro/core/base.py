@@ -11,6 +11,13 @@ Every algorithm in :mod:`repro.core` follows the same life cycle:
    experiment runner) applies the delta to the window *before* calling
    ``update``, so ``self.window.tensor`` always equals the paper's
    ``X + ΔX`` while ``delta`` carries ``ΔX`` itself.
+3. ``update_batch(batch)`` — react to a coalesced
+   :class:`~repro.stream.deltas.DeltaBatch` of events drained by the batched
+   engine (``ContinuousStreamProcessor.run_batched``).  Here the model owns
+   the window mutation and interleaves it with the factor updates, so the
+   result is exactly equivalent to the per-event path; the default loops over
+   the batch, and the deterministic variants override it to share per-event
+   setup (hoisted Hadamard-of-Gram inverses, one COO conversion per sweep).
 
 The base class also centralises the bookkeeping helpers shared by several
 variants: rank-one Gram updates (Eq. 13 / Eqs. 24-25), previous-Gram updates
@@ -27,7 +34,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError, RankError, ShapeError
-from repro.stream.deltas import Delta
+from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.window import TensorWindow
 from repro.tensor.kruskal import KruskalTensor
 from repro.tensor.products import hadamard_all
@@ -203,6 +210,29 @@ class ContinuousCPD(abc.ABC):
         self._require_initialized()
         self._update(delta)
         self._n_updates += 1
+
+    def update_batch(self, batch: DeltaBatch) -> None:
+        """React to a whole :class:`DeltaBatch` of window events.
+
+        Contract — note the difference from :meth:`update`: the caller must
+        **not** have applied the batch to the window.  ``update_batch`` owns
+        the window mutation so implementations can interleave it with factor
+        updates and preserve exact per-event semantics: each event's update
+        rule must observe the window as of *that* event, not the batch's
+        final state.
+
+        The default implementation replays the batch event by event, which
+        is equivalent — bit for bit — to the per-event path (``apply_delta``
+        followed by :meth:`update` for every event).  Subclasses override it
+        to share per-event setup and vectorise within-event work while
+        keeping that equivalence; see ``SNSMat``/``SNSVec``/``SNSVecPlus``.
+        """
+        self._require_initialized()
+        window = self._window
+        for delta in batch.deltas:
+            window.apply_delta(delta)  # type: ignore[union-attr]
+            self._update(delta)
+            self._n_updates += 1
 
     @abc.abstractmethod
     def _update(self, delta: Delta) -> None:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.als.mttkrp import mttkrp_row
 from repro.core.base import ContinuousCPD
-from repro.stream.deltas import Delta
+from repro.stream.deltas import Delta, DeltaBatch
 
 
 class SNSVecPlus(ContinuousCPD):
@@ -29,12 +29,42 @@ class SNSVecPlus(ContinuousCPD):
         for mode, index in self._affected_rows(delta):
             self._update_row(mode, index, delta)
 
+    def update_batch(self, batch: DeltaBatch) -> None:
+        """Batched engine entry point, exactly equivalent to the per-event path.
+
+        As in :meth:`SNSVec.update_batch`, the Hadamard-of-Grams matrix of
+        the time mode is unchanged by time-row updates, so one matrix per
+        event serves both time rows of a shift instead of being rebuilt per
+        row.  No values change.
+        """
+        self._require_initialized()
+        window = self.window
+        time_mode = self.time_mode
+        for delta in batch.deltas:
+            window.apply_delta(delta)
+            time_hadamard: np.ndarray | None = None
+            for mode, index in self._affected_rows(delta):
+                if mode == time_mode:
+                    if time_hadamard is None:
+                        time_hadamard = self._hadamard_of_grams(mode)
+                    self._update_row(mode, index, delta, hadamard=time_hadamard)
+                else:
+                    self._update_row(mode, index, delta)
+            self._n_updates += 1
+
     # ------------------------------------------------------------------
     # updateRowVec+ (Algorithm 5)
     # ------------------------------------------------------------------
-    def _update_row(self, mode: int, index: int, delta: Delta) -> None:
+    def _update_row(
+        self,
+        mode: int,
+        index: int,
+        delta: Delta,
+        hadamard: np.ndarray | None = None,
+    ) -> None:
         old_row = self._factors[mode][index, :].copy()
-        hadamard = self._hadamard_of_grams(mode)  # *_{n != m} A(n)'A(n)
+        if hadamard is None:
+            hadamard = self._hadamard_of_grams(mode)  # *_{n != m} A(n)'A(n)
         if mode == self.time_mode:
             # Eq. (22): approximate X by X̃ via the e-term, plus the explicit ΔX part.
             numerator = old_row @ hadamard + self._delta_contribution(mode, index, delta)

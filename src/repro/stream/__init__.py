@@ -16,7 +16,7 @@ This package implements:
 
 from repro.stream.events import EventKind, StreamRecord, WindowEvent
 from repro.stream.stream import MultiAspectStream
-from repro.stream.deltas import Delta
+from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.window import TensorWindow, WindowConfig
 from repro.stream.scheduler import EventScheduler
 from repro.stream.processor import ContinuousStreamProcessor
@@ -27,6 +27,7 @@ __all__ = [
     "WindowEvent",
     "MultiAspectStream",
     "Delta",
+    "DeltaBatch",
     "TensorWindow",
     "WindowConfig",
     "EventScheduler",

@@ -6,11 +6,22 @@ and an addition), and an expiry subtracts it from the oldest unit.  The
 :class:`Delta` object records those entry changes explicitly so that the
 online update rules can iterate over them without re-deriving the event
 semantics.
+
+:class:`DeltaBatch` is the batched counterpart: the coalesced ``ΔX`` of a
+whole *group* of chronologically consecutive events, stored in COO style
+(categorical ``indices`` array, time-mode ``units`` array, ``values`` array)
+so the window can absorb the group with one vectorized scatter-add and the
+batched update rules can group entries by mode index.  The per-event
+:class:`Delta` objects remain recoverable (lazily) for algorithms that need
+exact per-event semantics, so batched processing never loses information
+relative to the per-event path.
 """
 
 from __future__ import annotations
 
 import dataclasses
+
+import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.stream.events import EventKind, StreamRecord, WindowEvent
@@ -95,3 +106,180 @@ class Delta:
                 f"event step {step} is outside the valid range 0..{window_length}"
             )
         return Delta(entries=entries, record=record, step=step, kind=event.kind)
+
+
+class DeltaBatch:
+    """The coalesced ``ΔX`` of a group of consecutive window events.
+
+    Built by :meth:`ContinuousStreamProcessor.iter_batches` from the raw
+    scheduler entries of one batch window.  The batch stores the entry-level
+    changes of all its events *in event order* — event order is what makes
+    window application bit-identical to the per-event path — plus enough
+    event metadata to lazily reconstruct the individual
+    :class:`~repro.stream.events.WindowEvent` / :class:`Delta` objects.
+
+    Parameters
+    ----------
+    raw_events:
+        ``(time, sequence, kind, record, step)`` tuples, chronological.
+    coordinates:
+        Full window coordinates of every entry change, in event order.
+        An arrival or expiry contributes one entry, a shift two, so
+        ``len(coordinates) >= len(raw_events)``.
+    values:
+        The signed change at each coordinate, aligned with ``coordinates``.
+    window_length:
+        The window length ``W`` (needed to rebuild per-event deltas).
+    trusted:
+        Set by the event engine, whose coordinates are validated by
+        construction; consumers skip re-validation for trusted batches and
+        bounds-check untrusted (hand-built) ones.
+    """
+
+    __slots__ = (
+        "_raw_events",
+        "_coordinates",
+        "_values",
+        "_window_length",
+        "_trusted",
+        "_events",
+        "_deltas",
+        "_indices_array",
+        "_units_array",
+        "_values_array",
+    )
+
+    def __init__(
+        self,
+        raw_events: list[tuple[float, int, EventKind, StreamRecord, int]],
+        coordinates: list[Coordinate],
+        values: list[float],
+        window_length: int,
+        trusted: bool = False,
+    ) -> None:
+        if len(coordinates) != len(values):
+            raise ShapeError(
+                f"{len(coordinates)} coordinates for {len(values)} values"
+            )
+        self._raw_events = raw_events
+        self._coordinates = coordinates
+        self._values = values
+        self._window_length = int(window_length)
+        self._trusted = bool(trusted)
+        self._events: tuple[WindowEvent, ...] | None = None
+        self._deltas: tuple[Delta, ...] | None = None
+        self._indices_array: np.ndarray | None = None
+        self._units_array: np.ndarray | None = None
+        self._values_array: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Sizes and time span
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Number of events coalesced into this batch."""
+        return len(self._raw_events)
+
+    @property
+    def nnz(self) -> int:
+        """Number of entry changes carried by this batch."""
+        return len(self._coordinates)
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    @property
+    def start_time(self) -> float:
+        """Fire time of the first event in the batch."""
+        return self._raw_events[0][0]
+
+    @property
+    def end_time(self) -> float:
+        """Fire time of the last event in the batch."""
+        return self._raw_events[-1][0]
+
+    @property
+    def window_length(self) -> int:
+        """Window length ``W`` the batch was generated for."""
+        return self._window_length
+
+    @property
+    def trusted(self) -> bool:
+        """True when the coordinates were validated by the event engine."""
+        return self._trusted
+
+    # ------------------------------------------------------------------
+    # COO view (vectorized consumers)
+    # ------------------------------------------------------------------
+    @property
+    def coordinates(self) -> list[Coordinate]:
+        """Full window coordinates of every entry change, in event order."""
+        return self._coordinates
+
+    @property
+    def raw_values(self) -> list[float]:
+        """Entry-change values aligned with :attr:`coordinates`."""
+        return self._values
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Categorical indices of every entry as an ``(nnz, M-1)`` array."""
+        if self._indices_array is None:
+            self._build_arrays()
+        return self._indices_array  # type: ignore[return-value]
+
+    @property
+    def units(self) -> np.ndarray:
+        """Time-mode index of every entry as an ``(nnz,)`` array."""
+        if self._units_array is None:
+            self._build_arrays()
+        return self._units_array  # type: ignore[return-value]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Entry-change values as an ``(nnz,)`` float64 array."""
+        if self._values_array is None:
+            self._build_arrays()
+        return self._values_array  # type: ignore[return-value]
+
+    def _build_arrays(self) -> None:
+        if self._coordinates:
+            full = np.asarray(self._coordinates, dtype=np.int64)
+        else:  # batches are non-empty by construction; keep shapes sensible anyway
+            full = np.empty((0, 1), dtype=np.int64)
+        self._indices_array = full[:, :-1]
+        self._units_array = full[:, -1]
+        self._values_array = np.asarray(self._values, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Per-event views (exact-semantics consumers)
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[WindowEvent, ...]:
+        """The batch's events, materialised lazily in chronological order."""
+        if self._events is None:
+            self._events = tuple(
+                WindowEvent(
+                    time=time, sequence=sequence, kind=kind, record=record, step=step
+                )
+                for time, sequence, kind, record, step in self._raw_events
+            )
+        return self._events
+
+    @property
+    def deltas(self) -> tuple[Delta, ...]:
+        """Per-event ``ΔX`` objects, materialised lazily in event order.
+
+        Iterating these and applying/updating one at a time reproduces the
+        per-event path exactly; the default
+        :meth:`repro.core.base.ContinuousCPD.update_batch` relies on this.
+        """
+        if self._deltas is None:
+            window_length = self._window_length
+            self._deltas = tuple(
+                Delta.from_event(event, window_length) for event in self.events
+            )
+        return self._deltas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaBatch(n_events={self.n_events}, nnz={self.nnz})"

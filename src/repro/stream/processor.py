@@ -16,19 +16,36 @@ The :meth:`ContinuousStreamProcessor.events` generator yields
 ``(event, delta)`` pairs in chronological order *after* applying the delta to
 the window, so consumers always observe the up-to-date window ``X + ΔX``
 together with the change ``ΔX`` — the exact inputs of Problem 2.
+
+Batched engine
+--------------
+:meth:`ContinuousStreamProcessor.iter_batches` is the high-throughput
+counterpart of :meth:`events`: it drains every event inside a batch window
+(arrivals, shifts, and expiries between consecutive update points) from the
+scheduler in one pull and coalesces their entry changes into a single
+:class:`~repro.stream.deltas.DeltaBatch`.  :meth:`run_batched` consumes those
+batches, either scattering them straight into the window (pure replay) or
+handing them to a model's ``update_batch``.  Both paths are *exactly*
+equivalent to the per-event path: windows end up bit-identical and models see
+the same per-event semantics (see ``tests/stream/test_batched_equivalence``).
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterator
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
-from repro.stream.deltas import Delta
+from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.events import EventKind, StreamRecord, WindowEvent
 from repro.stream.scheduler import EventScheduler
 from repro.stream.stream import MultiAspectStream
 from repro.stream.window import TensorWindow, WindowConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import ContinuousCPD
 
 #: Relative slack used when assigning a timestamp to a tensor unit, guarding
 #: against floating-point error when ``t - t_n`` is an exact multiple of ``T``.
@@ -73,6 +90,11 @@ class ContinuousStreamProcessor:
         self._scheduler = EventScheduler()
         self._n_events_emitted = 0
         self._future_records: list[StreamRecord] = []
+        # Step -> event kind, precomputed once; both event paths use it.
+        self._kind_by_step: tuple[EventKind, ...] = tuple(
+            WindowEvent.kind_for_step(step, config.window_length)
+            for step in range(config.window_length + 1)
+        )
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -103,6 +125,11 @@ class ContinuousStreamProcessor:
         """Number of stream records not yet arrived."""
         return len(self._future_records)
 
+    @property
+    def has_pending_events(self) -> bool:
+        """True while any arrival, shift, or expiry is still due."""
+        return bool(self._future_records) or len(self._scheduler) > 0
+
     # ------------------------------------------------------------------
     # Bootstrap
     # ------------------------------------------------------------------
@@ -126,8 +153,9 @@ class ContinuousStreamProcessor:
             next_step = offset + 1
             if next_step <= window_length:
                 next_time = record.time + next_step * period
-                kind = WindowEvent.kind_for_step(next_step, window_length)
-                self._scheduler.schedule(next_time, kind, record, next_step)
+                self._scheduler.schedule(
+                    next_time, self._kind_by_step[next_step], record, next_step
+                )
         # Future records are consumed front-to-back as arrivals.
         self._future_records.reverse()  # pop() from the end is O(1)
 
@@ -174,6 +202,15 @@ class ContinuousStreamProcessor:
                 next_scheduled_time is not None
                 and next_scheduled_time <= next_arrival_time
             )
+            next_time = next_scheduled_time if take_scheduled else next_arrival_time
+            if end_time is not None and next_time > end_time:
+                # Stop *before* touching any state: popping first and undoing
+                # the pop would consume a sequence number (arrivals are
+                # scheduled-then-popped), making a paused-and-resumed run
+                # number simultaneous events differently from an
+                # uninterrupted one.  Leaving the event in place keeps
+                # resuming with a later end_time exactly equivalent.
+                return
             if take_scheduled:
                 event = self._scheduler.pop()
             else:
@@ -182,25 +219,13 @@ class ContinuousStreamProcessor:
                     record.time, EventKind.ARRIVAL, record, step=0
                 )
                 self._scheduler.pop()  # immediately consume the arrival we queued
-            if end_time is not None and event.time > end_time:
-                # Put the event back conceptually by re-scheduling it; callers
-                # may resume with a later end_time.
-                self._scheduler.schedule(
-                    event.time, event.kind, event.record, event.step
-                )
-                if not take_scheduled:
-                    # The arrival was popped from the record list; keep it in
-                    # the scheduler so it is not lost (already re-scheduled).
-                    pass
-                return
             delta = Delta.from_event(event, window_length)
             self._window.apply_delta(delta)
             next_step = event.step + 1
             if next_step <= window_length:
-                kind = WindowEvent.kind_for_step(next_step, window_length)
                 self._scheduler.schedule(
                     event.record.time + next_step * period,
-                    kind,
+                    self._kind_by_step[next_step],
                     event.record,
                     next_step,
                 )
@@ -216,6 +241,173 @@ class ContinuousStreamProcessor:
         count = 0
         for _ in self.events(end_time=end_time, max_events=max_events):
             count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Batched event engine
+    # ------------------------------------------------------------------
+    def iter_batches(
+        self,
+        end_time: float | None = None,
+        max_events: int | None = None,
+        batch_window: float | None = None,
+    ) -> Iterator[DeltaBatch]:
+        """Drain events in groups and yield one :class:`DeltaBatch` per group.
+
+        Each batch contains every event (arrival, shift, expiry) whose fire
+        time falls within ``batch_window`` of the group's first event, in the
+        exact order — including tie-breaking — of the per-event path, with
+        successor events scheduled as the group is drained so that chains
+        within a group are respected.  Unlike :meth:`events`, the deltas are
+        **not** applied to the window here: the consumer decides whether to
+        scatter the whole batch at once (:meth:`TensorWindow.apply_batch`,
+        pure replay) or interleave window updates with factor updates
+        (:meth:`repro.core.base.ContinuousCPD.update_batch`).  Every yielded
+        batch must therefore be applied exactly once; :meth:`run_batched`
+        does this for you.
+
+        Parameters
+        ----------
+        end_time:
+            Stop before the first event that would fire after this time.
+        max_events:
+            Stop after this many events (a batch may be cut short to honour
+            the cap).
+        batch_window:
+            Length of the grouping window, in stream time units.  Defaults to
+            the tensor-unit period ``T``.  ``0.0`` groups only simultaneous
+            events.
+        """
+        window_length = self._config.window_length
+        period = self._config.period
+        if batch_window is None:
+            batch_window = period
+        batch_window = float(batch_window)
+        if batch_window < 0.0:
+            raise ConfigurationError(
+                f"batch_window must be >= 0, got {batch_window}"
+            )
+        scheduler = self._scheduler
+        records = self._future_records
+        kind_by_step = self._kind_by_step
+        arrival_kind = EventKind.ARRIVAL
+        newest_unit = window_length - 1
+        emitted = 0
+        while True:
+            if max_events is not None and emitted >= max_events:
+                return
+            next_arrival = records[-1].time if records else None
+            next_scheduled = scheduler.peek_time()
+            if next_arrival is None and next_scheduled is None:
+                return
+            if next_scheduled is None:
+                first_time = next_arrival
+            elif next_arrival is None or next_scheduled <= next_arrival:
+                first_time = next_scheduled
+            else:
+                first_time = next_arrival
+            if end_time is not None and first_time > end_time:
+                return
+            group_end = first_time + batch_window
+            if end_time is not None and end_time < group_end:
+                group_end = end_time
+            raw_events: list[tuple[float, int, EventKind, StreamRecord, int]] = []
+            coordinates: list[tuple[int, ...]] = []
+            values: list[float] = []
+            budget = (
+                max_events - emitted if max_events is not None else None
+            )
+            append_event = raw_events.append
+            append_coordinate = coordinates.append
+            append_value = values.append
+            # Inlined drain: operate on the raw heap and a local sequence
+            # counter (handed back below) to avoid per-event method calls.
+            heap, sequence = scheduler.begin_drain()
+            while budget is None or len(raw_events) < budget:
+                if heap:
+                    next_time = heap[0][0]
+                    # Same tie rule as events(): scheduled shifts/expiries
+                    # win ties against new arrivals.
+                    take_scheduled = not records or next_time <= records[-1].time
+                    if not take_scheduled:
+                        next_time = records[-1].time
+                elif records:
+                    take_scheduled = False
+                    next_time = records[-1].time
+                else:
+                    break
+                if next_time > group_end:
+                    break
+                if take_scheduled:
+                    entry = heappop(heap)
+                    record = entry[3]
+                    step = entry[4]
+                else:
+                    record = records.pop()
+                    step = 0
+                    entry = (record.time, sequence, arrival_kind, record, 0)
+                    sequence += 1
+                prefix = record.indices
+                value = record.value
+                if step == 0:
+                    append_coordinate((*prefix, newest_unit))
+                    append_value(value)
+                elif step == window_length:
+                    append_coordinate((*prefix, 0))
+                    append_value(-value)
+                else:
+                    append_coordinate((*prefix, window_length - step))
+                    append_value(-value)
+                    append_coordinate((*prefix, window_length - step - 1))
+                    append_value(value)
+                next_step = step + 1
+                if next_step <= window_length:
+                    heappush(
+                        heap,
+                        (
+                            record.time + next_step * period,
+                            sequence,
+                            kind_by_step[next_step],
+                            record,
+                            next_step,
+                        ),
+                    )
+                    sequence += 1
+                append_event(entry)
+            scheduler.end_drain(sequence)
+            if not raw_events:
+                return
+            emitted += len(raw_events)
+            self._n_events_emitted += len(raw_events)
+            yield DeltaBatch(
+                raw_events, coordinates, values, window_length, trusted=True
+            )
+
+    def run_batched(
+        self,
+        model: "ContinuousCPD | None" = None,
+        end_time: float | None = None,
+        max_events: int | None = None,
+        batch_window: float | None = None,
+    ) -> int:
+        """Replay events batch by batch; return the number of events applied.
+
+        Without a ``model`` each batch is scattered into the window in one
+        vectorized pass, producing a window bit-identical to :meth:`run`.
+        With a ``model`` (a :class:`~repro.core.base.ContinuousCPD` that was
+        initialised on :attr:`window`), each batch is handed to the model's
+        ``update_batch``, which applies the window changes itself so that its
+        factor updates observe exactly the per-event window states.
+        """
+        count = 0
+        for batch in self.iter_batches(
+            end_time=end_time, max_events=max_events, batch_window=batch_window
+        ):
+            if model is None:
+                self._window.apply_batch(batch)
+            else:
+                model.update_batch(batch)
+            count += batch.n_events
         return count
 
 

@@ -5,8 +5,11 @@ concatenating the ``W`` most recent tensor units.  The window itself is
 agnostic of wall-clock time: the event-driven processor
 (:class:`repro.stream.processor.ContinuousStreamProcessor`) decides *when*
 entries move; the window merely applies the resulting
-:class:`~repro.stream.deltas.Delta` objects and answers queries about its
-contents.
+:class:`~repro.stream.deltas.Delta` objects — one at a time via
+:meth:`TensorWindow.apply_delta`, or a whole coalesced
+:class:`~repro.stream.deltas.DeltaBatch` at once via
+:meth:`TensorWindow.apply_batch` (bit-identical result, one grouped
+scatter-add) — and answers queries about its contents.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import dataclasses
 from collections.abc import Iterator, Sequence
 
 from repro.exceptions import ConfigurationError, ShapeError
-from repro.stream.deltas import Delta
+from repro.stream.deltas import Delta, DeltaBatch
 from repro.tensor.sparse import SparseTensor
 
 Coordinate = tuple[int, ...]
@@ -147,6 +150,23 @@ class TensorWindow:
                 )
             self._tensor.add(coordinate, value)
         self._n_deltas_applied += 1
+
+    def apply_batch(self, batch: DeltaBatch) -> None:
+        """Apply a coalesced batch of event deltas in one scatter-add.
+
+        Equivalent — bit for bit — to calling :meth:`apply_delta` for each of
+        the batch's per-event deltas in order (see
+        :meth:`repro.tensor.sparse.SparseTensor.add_batch` for why), but each
+        distinct coordinate costs one storage update regardless of how many
+        of the batch's events touch it.
+        """
+        if batch.trusted:
+            # Batches built by the event engine carry validated int-tuple
+            # coordinates, so per-entry validation is skipped.
+            self._tensor._add_batch_trusted(batch.coordinates, batch.raw_values)
+        else:
+            self._tensor.add_batch(batch.coordinates, batch.raw_values)
+        self._n_deltas_applied += batch.n_events
 
     def add_entry(self, categorical: Sequence[int], unit: int, value: float) -> None:
         """Add ``value`` at (categorical indices, time-unit ``unit``).

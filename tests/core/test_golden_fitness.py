@@ -1,0 +1,97 @@
+"""Golden regression tests: pinned final fitness for every SNS variant.
+
+The equivalence suite proves the batched engine matches the per-event path,
+but neither suite would notice if *both* paths drifted together — e.g. a
+refactor that silently changes an update rule for sequential and batched
+execution alike.  These tests pin the final fitness of each of the five
+SliceNStitch variants on a small fixed-seed synthetic stream, so any change
+to the numerics has to be made consciously (by re-deriving the goldens) and
+shows up in review.
+
+The pinned values were produced by the per-event path at the stated
+configuration.  The relative tolerance of ``1e-6`` absorbs BLAS-level
+round-off differences between platforms while remaining far tighter than any
+meaningful algorithmic change; on a given platform the runs are
+deterministic (fixed dataset seed, fixed ALS seed, fixed sampling seed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.als.als import decompose
+from repro.core.base import SNSConfig
+from repro.core.registry import ALGORITHMS, create_algorithm
+from repro.data.generators import generate_dataset
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+#: Replayed events after warm-up.
+N_EVENTS = 400
+
+#: Final fitness of each variant after N_EVENTS on nyc_taxi @ scale 0.05,
+#: ALS(n_iterations=5, seed=0) initialisation, SNSConfig(seed=0).
+GOLDEN_FINAL_FITNESS = {
+    "sns_mat": 0.2867246023554326,
+    "sns_rnd": 0.21146322292190745,
+    "sns_rnd_plus": 0.197760670798803,
+    "sns_vec": 0.2113392809886686,
+    "sns_vec_plus": 0.19520302008905166,
+}
+
+GOLDEN_INITIAL_FITNESS = 0.2511966271136048
+
+
+@pytest.fixture(scope="module")
+def golden_setup():
+    stream, spec = generate_dataset("nyc_taxi", scale=0.05)
+    config = WindowConfig(
+        mode_sizes=spec.mode_sizes,
+        window_length=spec.window_length,
+        period=spec.period,
+    )
+    processor = ContinuousStreamProcessor(stream, config)
+    initial = decompose(
+        processor.window.tensor, rank=spec.rank, n_iterations=5, seed=0
+    )
+    return stream, spec, config, initial
+
+
+def test_variant_roster_matches_goldens():
+    # A new variant must get a golden entry; a removed one must drop it.
+    assert set(GOLDEN_FINAL_FITNESS) == set(ALGORITHMS)
+
+
+def test_initialization_fitness_is_pinned(golden_setup):
+    _, _, _, initial = golden_setup
+    assert initial.fitness == pytest.approx(
+        GOLDEN_INITIAL_FITNESS, rel=1e-6, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FINAL_FITNESS))
+def test_final_fitness_is_pinned(golden_setup, name):
+    stream, spec, config, initial = golden_setup
+    sns_config = SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, seed=0)
+    processor = ContinuousStreamProcessor(stream, config)
+    model = create_algorithm(name, sns_config)
+    model.initialize(processor.window, initial.decomposition)
+    for _, delta in processor.events(max_events=N_EVENTS):
+        model.update(delta)
+    assert model.fitness() == pytest.approx(
+        GOLDEN_FINAL_FITNESS[name], rel=1e-6, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FINAL_FITNESS))
+def test_batched_path_reproduces_goldens(golden_setup, name):
+    """The batched engine must land on the same pinned numbers."""
+    stream, spec, config, initial = golden_setup
+    sns_config = SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, seed=0)
+    processor = ContinuousStreamProcessor(stream, config)
+    model = create_algorithm(name, sns_config)
+    model.initialize(processor.window, initial.decomposition)
+    processor.run_batched(model=model, max_events=N_EVENTS)
+    assert model.fitness() == pytest.approx(
+        GOLDEN_FINAL_FITNESS[name], rel=1e-6, abs=1e-9
+    )

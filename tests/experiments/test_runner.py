@@ -62,6 +62,41 @@ class TestRunMethod:
         assert result.mean_update_microseconds > 0
         assert np.isfinite(result.average_fitness)
 
+    def test_batched_continuous_matches_sequential(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=300, checkpoint_every=100
+        )
+        sequential = run_method(stream, window_config, "sns_vec_plus", **kwargs)
+        batched = run_method(
+            stream, window_config, "sns_vec_plus", batched=True, **kwargs
+        )
+        assert batched.kind == "continuous"
+        assert batched.n_events == sequential.n_events
+        # n_updates and mean_update_microseconds are per-event in both paths.
+        assert batched.n_updates == sequential.n_updates
+        assert batched.mean_update_microseconds > 0
+        # The batched engine is numerically equivalent, so the final state —
+        # and therefore the final fitness — must agree to float precision.
+        assert batched.final_fitness == pytest.approx(
+            sequential.final_fitness, rel=1e-9
+        )
+
+    def test_batched_periodic_method_runs(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        result = run_method(
+            stream, window_config, "als",
+            initial_factors=initial, rank=5,
+            max_events=300, checkpoint_every=100, batched=True,
+        )
+        assert result.kind == "periodic"
+        assert result.n_events == 300
+        assert result.n_updates >= 1
+        assert np.isfinite(result.final_fitness)
+        assert result.checkpoint_times == sorted(result.checkpoint_times)
+        assert result.mean_update_microseconds > 0
+        assert np.isfinite(result.average_fitness)
+
     def test_periodic_method_result(self, runner_setup):
         stream, window_config, initial, _ = runner_setup
         result = run_method(

@@ -1,0 +1,174 @@
+"""Regression tests for pausing ``events()`` at ``end_time`` and resuming.
+
+The early-return path of :meth:`ContinuousStreamProcessor.events` used to
+pop the next event before noticing it fires past ``end_time``.  Two bugs
+lurked there:
+
+* a popped *arrival* was re-inserted into the scheduler instead of back onto
+  the pending-record list, so ``n_pending_records`` lied, the record was no
+  longer replayed through the arrival code path, and the detour consumed
+  extra sequence numbers relative to an uninterrupted run, and
+* a popped *scheduled* event was re-scheduled with a **fresh** sequence
+  number, so when several events shared a fire time, pausing between them
+  reordered the survivors relative to an uninterrupted run.
+
+The fix checks ``end_time`` against the *peeked* fire time before popping
+anything, so pausing touches no state at all: a run paused at arbitrary
+``end_time`` values and resumed must be indistinguishable from an
+uninterrupted one — same events, same order, same sequence numbers, each
+event exactly once, and a bit-identical window.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.events import EventKind, StreamRecord
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.stream import MultiAspectStream
+from repro.stream.window import WindowConfig
+
+
+def event_key(event):
+    return (event.time, event.sequence, event.kind, event.record, event.step)
+
+
+def replay_with_pauses(stream, config, start_time, end_times):
+    """Drive events() across several end_time segments, then drain fully."""
+    processor = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    observed = []
+    for end_time in end_times:
+        observed.extend(
+            event_key(event) for event, _ in processor.events(end_time=end_time)
+        )
+    observed.extend(event_key(event) for event, _ in processor.events())
+    return processor, observed
+
+
+@st.composite
+def pause_case(draw):
+    n_modes = draw(st.integers(min_value=1, max_value=2))
+    mode_sizes = tuple(
+        draw(st.integers(min_value=2, max_value=4)) for _ in range(n_modes)
+    )
+    window_length = draw(st.integers(min_value=1, max_value=4))
+    period = float(draw(st.integers(min_value=1, max_value=3)))
+    n_records = draw(st.integers(min_value=2, max_value=14))
+    records = []
+    time = 0.0
+    for _ in range(n_records):
+        # Integer-ish gaps maximise exact time collisions between shifts of
+        # different records — the regime where pause ordering matters.
+        time += float(draw(st.integers(min_value=0, max_value=3)))
+        indices = tuple(
+            draw(st.integers(min_value=0, max_value=size - 1)) for size in mode_sizes
+        )
+        value = float(draw(st.integers(min_value=1, max_value=5)))
+        records.append(StreamRecord(indices=indices, value=value, time=time))
+    stream = MultiAspectStream(records, mode_sizes=mode_sizes)
+    config = WindowConfig(
+        mode_sizes=mode_sizes, window_length=window_length, period=period
+    )
+    start_time = float(draw(st.integers(min_value=0, max_value=int(time) + 2)))
+    horizon = time + (window_length + 1) * period
+    n_pauses = draw(st.integers(min_value=1, max_value=5))
+    end_times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=horizon, allow_nan=False),
+                min_size=n_pauses,
+                max_size=n_pauses,
+            )
+        )
+    )
+    return stream, config, start_time, end_times
+
+
+@given(pause_case())
+@settings(max_examples=100, deadline=None)
+def test_paused_and_resumed_run_matches_uninterrupted(case):
+    stream, config, start_time, end_times = case
+    uninterrupted = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    expected = [event_key(event) for event, _ in uninterrupted.events()]
+    resumed, observed = replay_with_pauses(stream, config, start_time, end_times)
+    assert observed == expected  # same events, same order, none dropped/doubled
+    assert dict(resumed.window.tensor.items()) == dict(
+        uninterrupted.window.tensor.items()
+    )
+    assert resumed.n_events_emitted == uninterrupted.n_events_emitted
+
+
+@given(pause_case())
+@settings(max_examples=60, deadline=None)
+def test_pause_is_idempotent_and_keeps_pending_counts_truthful(case):
+    stream, config, start_time, end_times = case
+    reference = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    paused = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    end_time = end_times[0]
+    n_reference = reference.run(end_time=end_time)
+    n_paused = paused.run(end_time=end_time)
+    # Calling events() again with the same end_time must be a no-op.
+    assert paused.run(end_time=end_time) == 0
+    assert n_paused == n_reference
+    assert paused.n_pending_records == reference.n_pending_records
+    assert dict(paused.window.tensor.items()) == dict(
+        reference.window.tensor.items()
+    )
+
+
+def test_arrival_past_end_time_returns_to_pending_records():
+    records = [
+        StreamRecord(indices=(0,), value=1.0, time=0.0),
+        StreamRecord(indices=(1,), value=2.0, time=5.0),
+    ]
+    stream = MultiAspectStream(records, mode_sizes=(2,))
+    config = WindowConfig(mode_sizes=(2,), window_length=2, period=1.0)
+    processor = ContinuousStreamProcessor(stream, config, start_time=2.0)
+    before = processor.n_pending_records
+    # Everything up to t=4 is shifts/expiries of the first record; the
+    # arrival at t=5 is popped, found late, and must go back to the list.
+    processor.run(end_time=4.0)
+    assert processor.n_pending_records == before
+    n_after = processor.run(end_time=5.0)
+    assert processor.n_pending_records == before - 1
+    assert n_after >= 1
+
+
+def test_tie_order_preserved_when_pausing_between_simultaneous_shifts():
+    # Two records one period apart with the same categorical index: their
+    # shift chains collide at every subsequent period boundary.
+    records = [
+        StreamRecord(indices=(0,), value=1.0, time=1.0),
+        StreamRecord(indices=(0,), value=3.0, time=2.0),
+    ]
+    stream = MultiAspectStream(records, mode_sizes=(1,))
+    config = WindowConfig(mode_sizes=(1,), window_length=3, period=1.0)
+
+    uninterrupted = ContinuousStreamProcessor(stream, config, start_time=2.0)
+    expected = [
+        (event.time, event.sequence, event.kind, event.step)
+        for event, _ in uninterrupted.events()
+    ]
+    collision_times = sorted(
+        {time for time, _, _, _ in expected}
+    )
+    processor = ContinuousStreamProcessor(stream, config, start_time=2.0)
+    observed = []
+    for boundary in collision_times:
+        # Pause just before each collision instant, so every simultaneous
+        # group is interrupted mid-flight at least once.
+        observed.extend(
+            (event.time, event.sequence, event.kind, event.step)
+            for event, _ in processor.events(end_time=boundary - 0.5)
+        )
+        observed.extend(
+            (event.time, event.sequence, event.kind, event.step)
+            for event, _ in processor.events(end_time=boundary)
+        )
+    observed.extend(
+        (event.time, event.sequence, event.kind, event.step)
+        for event, _ in processor.events()
+    )
+    assert observed == expected
+    assert EventKind.SHIFT in {kind for _, _, kind, _ in expected}
