@@ -74,21 +74,30 @@ def mttkrp_row(
     ``mode``-th coordinate differs from ``index`` are ignored.
     """
     rank = factors[0].shape[1]
-    coordinates: list[tuple[int, ...]] = []
-    values: list[float] = []
-    for coordinate, value in tensor.mode_slice(mode, index):
-        coordinates.append(coordinate)
-        values.append(value)
-    for coordinate, value in extra_entries:
-        if coordinate[mode] != index:
-            continue
-        coordinates.append(tuple(coordinate))
-        values.append(value)
-    if not coordinates:
-        return np.zeros(rank, dtype=np.float64)
-    index_array = np.asarray(coordinates, dtype=np.int64)
+    if not extra_entries:
+        # Hot path (the SNS row updates): the slice arrays are built by the
+        # tensor in one pass — same entries in the same order as the
+        # iterator path below, so results are bit-identical.
+        index_array, value_array = tensor.mode_slice_arrays(mode, index)
+        if value_array.size == 0:
+            return np.zeros(rank, dtype=np.float64)
+    else:
+        coordinates: list[tuple[int, ...]] = []
+        values: list[float] = []
+        for coordinate, value in tensor.mode_slice(mode, index):
+            coordinates.append(coordinate)
+            values.append(value)
+        for coordinate, value in extra_entries:
+            if coordinate[mode] != index:
+                continue
+            coordinates.append(tuple(coordinate))
+            values.append(value)
+        if not coordinates:
+            return np.zeros(rank, dtype=np.float64)
+        index_array = np.asarray(coordinates, dtype=np.int64)
+        value_array = np.asarray(values, dtype=np.float64)
     product = np.broadcast_to(
-        np.asarray(values, dtype=np.float64)[:, None], (len(values), rank)
+        value_array[:, None], (value_array.size, rank)
     ).copy()
     for other_mode, factor in enumerate(factors):
         if other_mode == mode:

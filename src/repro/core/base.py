@@ -68,6 +68,15 @@ class SNSConfig:
         future work for SliceNStitch).  Ignored by the other variants.
     seed:
         Seed for the sampling generator of the randomised variants.
+    sampling:
+        Slice-sampling implementation used by the randomised variants
+        (``SNSRnd`` / ``SNSRndPlus``); ignored by the others.
+        ``"vectorized"`` (the default) draws the θ coordinates in bulk over
+        linearised slice offsets and hands the update rules an ``(n, M)``
+        int64 array — the engine-fast path.  ``"legacy"`` reproduces the
+        original per-draw tuple sampler bit-for-bit (same draw stream, same
+        goldens); both sample uniformly without replacement from the same
+        eligible set.
     """
 
     rank: int
@@ -76,6 +85,7 @@ class SNSConfig:
     regularization: float = 1e-12
     nonnegative: bool = False
     seed: int | None = 0
+    sampling: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -87,6 +97,10 @@ class SNSConfig:
         if self.regularization < 0:
             raise ConfigurationError(
                 f"regularization must be >= 0, got {self.regularization}"
+            )
+        if self.sampling not in ("vectorized", "legacy"):
+            raise ConfigurationError(
+                f"sampling must be 'vectorized' or 'legacy', got {self.sampling!r}"
             )
 
 
@@ -103,6 +117,16 @@ class ContinuousCPD(abc.ABC):
         self._grams: list[np.ndarray] = []
         self._rng = np.random.default_rng(config.seed)
         self._n_updates = 0
+        # rank x rank ridge term added by _pinv, built once instead of per call.
+        self._ridge: np.ndarray | None = (
+            config.regularization * np.eye(config.rank)
+            if config.regularization > 0
+            else None
+        )
+        # Scratch buffers for the rank-one Gram updates (hot path: reused
+        # instead of allocating three temporaries per row update).
+        self._gram_scratch_new = np.empty((config.rank, config.rank))
+        self._gram_scratch_old = np.empty((config.rank, config.rank))
 
     # ------------------------------------------------------------------
     # Properties
@@ -263,6 +287,13 @@ class ContinuousCPD(abc.ABC):
         """``*_{n != skip} A(n)'A(n)`` from the maintained Gram matrices."""
         source = self._grams if grams is None else grams
         selected = [g for mode, g in enumerate(source) if mode != skip]
+        # Orders 2 and 3 (one or two remaining Grams) dominate the update hot
+        # path; inline them past hadamard_all's generic reduce.  Same float
+        # operations, so results are bit-identical.
+        if len(selected) == 1:
+            return selected[0]
+        if len(selected) == 2:
+            return selected[0] * selected[1]
         return hadamard_all(selected)
 
     def _pinv(self, matrix: np.ndarray) -> np.ndarray:
@@ -273,8 +304,8 @@ class ContinuousCPD(abc.ABC):
         fall back to the Moore-Penrose pseudo-inverse, matching the paper's
         update rules.
         """
-        if self._config.regularization > 0:
-            matrix = matrix + self._config.regularization * np.eye(matrix.shape[0])
+        if self._ridge is not None:
+            matrix = matrix + self._ridge
         try:
             return np.linalg.inv(matrix)
         except np.linalg.LinAlgError:
@@ -321,26 +352,39 @@ class ContinuousCPD(abc.ABC):
         """
         index_array = np.asarray(coordinates, dtype=np.int64)
         product = np.ones((index_array.shape[0], self.rank), dtype=np.float64)
+        overrides_by_mode: dict[int, list[tuple[int, np.ndarray]]] = {}
+        if row_overrides:
+            for (override_mode, index), row in row_overrides.items():
+                overrides_by_mode.setdefault(override_mode, []).append((index, row))
         for mode, factor in enumerate(self._factors):
             rows = factor[index_array[:, mode], :]
-            if row_overrides:
-                overrides_for_mode = [
-                    (index, row)
-                    for (override_mode, index), row in row_overrides.items()
-                    if override_mode == mode
-                ]
-                if overrides_for_mode:
-                    rows = rows.copy()
-                    for index, row in overrides_for_mode:
-                        mask = index_array[:, mode] == index
-                        if mask.any():
-                            rows[mask] = row
+            overrides_for_mode = overrides_by_mode.get(mode)
+            if overrides_for_mode:
+                rows = rows.copy()
+                for index, row in overrides_for_mode:
+                    mask = index_array[:, mode] == index
+                    if mask.any():
+                        rows[mask] = row
             product *= rows
         return product.sum(axis=1)
 
     def _update_gram(self, mode: int, old_row: np.ndarray, new_row: np.ndarray) -> None:
-        """Rank-one Gram maintenance: Eq. (13) (equivalently Eqs. 24-25)."""
-        self._grams[mode] += np.outer(new_row, new_row) - np.outer(old_row, old_row)
+        """Rank-one Gram maintenance: Eq. (13) (equivalently Eqs. 24-25).
+
+        Written with scratch buffers instead of ``np.outer`` temporaries; the
+        float operations (two outer products, one subtraction, one in-place
+        add) are the same, so the result is bit-identical.
+
+        NOTE: ``RandomizedCPD._commit_row`` inlines this exact sequence on
+        the randomised hot path (a method call per row is measurable there)
+        — keep the two in sync when changing the update.
+        """
+        scratch_new = self._gram_scratch_new
+        scratch_old = self._gram_scratch_old
+        np.multiply(new_row[:, None], new_row[None, :], out=scratch_new)
+        np.multiply(old_row[:, None], old_row[None, :], out=scratch_old)
+        np.subtract(scratch_new, scratch_old, out=scratch_new)
+        self._grams[mode] += scratch_new
 
     def _affected_rows(self, delta: Delta) -> list[tuple[int, int]]:
         """Rows of factor matrices affected by ``delta``: (mode, index) pairs.

@@ -11,6 +11,12 @@ entries visited per row update at the user threshold ``θ``:
 
 With ``M``, ``R``, ``θ`` constant, each update takes constant time
 (Theorem 5).  Like SNS_VEC it does not normalise or clip and can be unstable.
+
+The sampling machinery, the per-event outline, and the batched engine entry
+point live in :class:`repro.core.randomized.RandomizedCPD`.  The vectorised
+path computes each row with one linear solve against the Hadamard-of-Grams
+system; the legacy path keeps the original pseudo-inverse formulation (and
+its float operations) bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,42 +24,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.als.mttkrp import mttkrp_row
-from repro.core.base import ContinuousCPD
-from repro.core.sampling import sample_slice_coordinates
-from repro.stream.deltas import Delta
+from repro.core.randomized import Entries, RandomizedCPD
 
 Coordinate = tuple[int, ...]
 
 
-class SNSRnd(ContinuousCPD):
+class SNSRnd(RandomizedCPD):
     """Randomised row-wise online CP updates with per-update cost ``O(θ)``."""
 
     name = "sns_rnd"
-
-    def _post_initialize(self) -> None:
-        # U(m) = A_prev(m)' A(m); refreshed to the plain Grams at every event.
-        self._prev_grams = [gram.copy() for gram in self._grams]
-
-    @property
-    def prev_grams(self) -> list[np.ndarray]:
-        """Maintained ``A_prev(m)' A(m)`` matrices (Eq. 17)."""
-        return self._prev_grams
-
-    # ------------------------------------------------------------------
-    # Algorithm 3 outline
-    # ------------------------------------------------------------------
-    def _update(self, delta: Delta) -> None:
-        # Line 1 of Algorithm 3: snapshot the Grams at the start of the event.
-        self._prev_grams = [gram.copy() for gram in self._grams]
-        affected = self._affected_rows(delta)
-        # Rows as they were before any update of this event, used to evaluate
-        # the reconstruction X̃ in the sampled residuals.
-        prev_rows: dict[tuple[int, int], np.ndarray] = {
-            (mode, index): self._factors[mode][index, :].copy()
-            for mode, index in affected
-        }
-        for mode, index in affected:
-            self._update_row(mode, index, delta, prev_rows)
 
     # ------------------------------------------------------------------
     # updateRowRan (Algorithm 4)
@@ -62,51 +41,88 @@ class SNSRnd(ContinuousCPD):
         self,
         mode: int,
         index: int,
-        delta: Delta,
+        degree: int,
+        entries: Entries,
         prev_rows: dict[tuple[int, int], np.ndarray],
+        overrides_by_mode: dict[int, list[tuple[int, np.ndarray]]],
+        delta_coordinates: list[Coordinate],
+        time_shared: dict[str, np.ndarray] | None,
     ) -> None:
         tensor = self.window.tensor  # already X + ΔX
-        degree = tensor.degree(mode, index)
-        old_row = self._factors[mode][index, :].copy()
-        if degree <= self.config.theta:
-            numerator = mttkrp_row(tensor, self._factors, mode, index)
-            new_row = numerator @ self._pinv(self._hadamard_of_grams(mode))  # Eq. (12)
+        # Each affected row is updated exactly once per event, so the
+        # start-of-event snapshot still equals the live row here.
+        old_row = prev_rows[(mode, index)]
+        if self._config.sampling == "legacy":
+            new_row = self._legacy_new_row(
+                mode,
+                index,
+                degree,
+                old_row,
+                entries,
+                prev_rows,
+                overrides_by_mode,
+                delta_coordinates,
+                time_shared,
+            )
         else:
-            new_row = self._sampled_row_update(mode, index, delta, prev_rows, old_row)
-        self._factors[mode][index, :] = new_row
-        self._update_gram(mode, old_row, new_row)  # Eq. (13)
-        # Eq. (17): A_prev' A gains the change of row `index` of mode `mode`.
-        self._prev_grams[mode] += np.outer(old_row, new_row - old_row)
+            if time_shared is not None and "hadamard" in time_shared:
+                hadamard = time_shared["hadamard"]
+            else:
+                hadamard = self._hadamard_fast(mode)
+                if time_shared is not None:
+                    time_shared["hadamard"] = hadamard
+            if degree <= self._config.theta:
+                rhs = mttkrp_row(tensor, self._factors, mode, index)  # Eq. (12)
+            else:
+                # Eq. (16): approximate the window by X̃ + X̄ with θ samples.
+                if time_shared is not None and "hadamard_prev" in time_shared:
+                    hadamard_prev = time_shared["hadamard_prev"]
+                else:
+                    hadamard_prev = self._hadamard_fast(mode, self._prev_grams)
+                    if time_shared is not None:
+                        time_shared["hadamard_prev"] = hadamard_prev
+                rhs = old_row @ hadamard_prev + self._sampled_contribution(
+                    mode,
+                    index,
+                    entries,
+                    prev_rows,
+                    overrides_by_mode,
+                    delta_coordinates,
+                )
+            new_row = self._solve_regularized(hadamard, rhs)
+        # Eq. (13) and Eq. (17): factor write plus both Gram updates.
+        self._commit_row(mode, index, old_row, new_row)
 
-    def _sampled_row_update(
+    def _legacy_new_row(
         self,
         mode: int,
         index: int,
-        delta: Delta,
-        prev_rows: dict[tuple[int, int], np.ndarray],
+        degree: int,
         old_row: np.ndarray,
+        entries: Entries,
+        prev_rows: dict[tuple[int, int], np.ndarray],
+        overrides_by_mode: dict[int, list[tuple[int, np.ndarray]]],
+        delta_coordinates: list[Coordinate],
+        time_shared: dict[str, np.ndarray] | None,
     ) -> np.ndarray:
-        """Eq. (16): approximate the window by ``X̃ + X̄`` with ``θ`` samples."""
-        tensor = self.window.tensor
-        delta_coordinates = [coordinate for coordinate, _ in delta.entries]
-        samples = sample_slice_coordinates(
-            tensor.shape,
-            mode,
-            index,
-            self.config.theta,
-            self._rng,
-            exclude=delta_coordinates,
+        """Original pseudo-inverse formulation, float operations pinned."""
+        if time_shared is not None and "pinv" in time_shared:
+            pinv_hadamard = time_shared["pinv"]
+        else:
+            pinv_hadamard = self._pinv(self._hadamard_of_grams(mode))
+            if time_shared is not None:
+                time_shared["pinv"] = pinv_hadamard
+        if degree <= self._config.theta:
+            numerator = mttkrp_row(self.window.tensor, self._factors, mode, index)
+            return numerator @ pinv_hadamard  # Eq. (12)
+        if time_shared is not None and "hadamard_prev" in time_shared:
+            hadamard_prev = time_shared["hadamard_prev"]
+        else:
+            hadamard_prev = self._hadamard_of_grams(mode, self._prev_grams)
+            if time_shared is not None:
+                time_shared["hadamard_prev"] = hadamard_prev
+        contribution = self._sampled_contribution(
+            mode, index, entries, prev_rows, overrides_by_mode, delta_coordinates
         )
-        residual_row = np.zeros(self.rank, dtype=np.float64)
-        if samples:
-            observed = np.array([tensor.get(c) for c in samples], dtype=np.float64)
-            reconstructed = self._reconstruction_batch(samples, prev_rows)
-            residuals = observed - reconstructed  # the x̄_J values
-            residual_row = residuals @ self._other_rows_product_batch(mode, samples)
-        for coordinate, value in delta.entries:
-            if coordinate[mode] != index:
-                continue
-            residual_row += value * self._other_rows_product(mode, coordinate)
-        hadamard_prev = self._hadamard_of_grams(mode, self._prev_grams)
-        pinv_hadamard = self._pinv(self._hadamard_of_grams(mode))
-        return old_row @ hadamard_prev @ pinv_hadamard + residual_row @ pinv_hadamard
+        # Eq. (16), in the seed's exact evaluation order.
+        return old_row @ hadamard_prev @ pinv_hadamard + contribution @ pinv_hadamard

@@ -13,6 +13,14 @@ For each affected row:
   previous-Gram matrices ``A_prev' A`` maintained by Eq. (26).
 
 Every updated entry is clipped into ``[-η, η]``.
+
+The sampling machinery, the per-event outline, and the batched engine entry
+point live in :class:`repro.core.randomized.RandomizedCPD`.  On the
+vectorised path the coordinate-descent sweep is computed as one triangular
+solve — a Gauss-Seidel sweep in matrix form — and falls back to the
+reference entry-by-entry loop exactly when clipping (or a non-positive
+diagonal) would engage; the legacy path always runs the reference loop, whose
+float operations are pinned bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,38 +28,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.als.mttkrp import mttkrp_row
-from repro.core.base import ContinuousCPD
-from repro.core.sampling import sample_slice_coordinates
-from repro.stream.deltas import Delta
+from repro.core.randomized import Entries, RandomizedCPD, _lapack_trtrs
 
 Coordinate = tuple[int, ...]
 
 
-class SNSRndPlus(ContinuousCPD):
+class SNSRndPlus(RandomizedCPD):
     """Sampled coordinate-descent updates with clipping: the paper's default choice."""
 
     name = "sns_rnd_plus"
 
     def _post_initialize(self) -> None:
-        self._prev_grams = [gram.copy() for gram in self._grams]
-
-    @property
-    def prev_grams(self) -> list[np.ndarray]:
-        """Maintained ``A_prev(m)' A(m)`` matrices (Eq. 26)."""
-        return self._prev_grams
-
-    # ------------------------------------------------------------------
-    # Algorithm 3 outline
-    # ------------------------------------------------------------------
-    def _update(self, delta: Delta) -> None:
-        self._prev_grams = [gram.copy() for gram in self._grams]
-        affected = self._affected_rows(delta)
-        prev_rows: dict[tuple[int, int], np.ndarray] = {
-            (mode, index): self._factors[mode][index, :].copy()
-            for mode, index in affected
-        }
-        for mode, index in affected:
-            self._update_row(mode, index, delta, prev_rows)
+        super()._post_initialize()
+        rank = self.rank
+        # Triangular-sweep scratch: strict-triangle masks plus two buffers,
+        # and a persistent strided view of the lower buffer's diagonal.
+        self._lower_mask = np.tril(np.ones((rank, rank)))
+        self._strict_upper_mask = np.triu(np.ones((rank, rank)), 1)
+        self._lower_scratch = np.empty((rank, rank))
+        self._upper_scratch = np.empty((rank, rank))
+        self._lower_diagonal = self._lower_scratch.reshape(-1)[:: rank + 1]
+        # Clipping constants, resolved once (hot path: one lookup each).
+        self._cd_eta = float(self._config.eta)
+        self._cd_lower = 0.0 if self._config.nonnegative else -self._cd_eta
+        self._cd_ridge = float(self._config.regularization)
+        self._cd_legacy = self._config.sampling == "legacy"
 
     # ------------------------------------------------------------------
     # updateRowRan+ (Algorithm 5)
@@ -60,70 +61,122 @@ class SNSRndPlus(ContinuousCPD):
         self,
         mode: int,
         index: int,
-        delta: Delta,
+        degree: int,
+        entries: Entries,
         prev_rows: dict[tuple[int, int], np.ndarray],
+        overrides_by_mode: dict[int, list[tuple[int, np.ndarray]]],
+        delta_coordinates: list[Coordinate],
+        time_shared: dict[str, np.ndarray] | None,
     ) -> None:
         tensor = self.window.tensor  # already X + ΔX
-        degree = tensor.degree(mode, index)
-        old_row = self._factors[mode][index, :].copy()
-        hadamard = self._hadamard_of_grams(mode)
-        if degree <= self.config.theta:
+        # Each affected row is updated exactly once per event, so the
+        # start-of-event snapshot still equals the live row here.
+        old_row = prev_rows[(mode, index)]
+        if time_shared is not None and "hadamard" in time_shared:
+            hadamard = time_shared["hadamard"]
+        else:
+            hadamard = self._hadamard_fast(mode)
+            if time_shared is not None:
+                time_shared["hadamard"] = hadamard
+        if degree <= self._config.theta:
             # Eq. (21): exact data term over the row's non-zeros.
             numerator = mttkrp_row(tensor, self._factors, mode, index)
         else:
             # Eq. (23): e-term via the previous Grams plus sampled residuals
             # and the explicit ΔX contribution.
-            hadamard_prev = self._hadamard_of_grams(mode, self._prev_grams)
+            if time_shared is not None and "hadamard_prev" in time_shared:
+                hadamard_prev = time_shared["hadamard_prev"]
+            else:
+                hadamard_prev = self._hadamard_fast(mode, self._prev_grams)
+                if time_shared is not None:
+                    time_shared["hadamard_prev"] = hadamard_prev
             numerator = old_row @ hadamard_prev + self._sampled_contribution(
-                mode, index, delta, prev_rows
+                mode, index, entries, prev_rows, overrides_by_mode, delta_coordinates
             )
-        new_row = self._coordinate_descent(mode, index, numerator, hadamard)
-        self._factors[mode][index, :] = new_row
-        self._update_gram(mode, old_row, new_row)  # Eqs. (24)-(25)
-        self._prev_grams[mode] += np.outer(old_row, new_row - old_row)  # Eq. (26)
-
-    def _sampled_contribution(
-        self,
-        mode: int,
-        index: int,
-        delta: Delta,
-        prev_rows: dict[tuple[int, int], np.ndarray],
-    ) -> np.ndarray:
-        """``sum_J (x̄_J + Δx_J) * prod_{n != m} a(n)_{j_n k}`` of Eq. (23)."""
-        tensor = self.window.tensor
-        delta_coordinates = [coordinate for coordinate, _ in delta.entries]
-        samples = sample_slice_coordinates(
-            tensor.shape,
-            mode,
-            index,
-            self.config.theta,
-            self._rng,
-            exclude=delta_coordinates,
+        new_row = self._coordinate_descent(
+            old_row, numerator, hadamard, time_shared=time_shared
         )
-        contribution = np.zeros(self.rank, dtype=np.float64)
-        if samples:
-            observed = np.array([tensor.get(c) for c in samples], dtype=np.float64)
-            reconstructed = self._reconstruction_batch(samples, prev_rows)
-            residuals = observed - reconstructed  # the x̄_J values
-            contribution = residuals @ self._other_rows_product_batch(mode, samples)
-        for coordinate, value in delta.entries:
-            if coordinate[mode] != index:
-                continue
-            contribution += value * self._other_rows_product(mode, coordinate)
-        return contribution
+        # Eqs. (24)-(25) and Eq. (26): factor write plus both Gram updates.
+        self._commit_row(mode, index, old_row, new_row)
 
+    # ------------------------------------------------------------------
+    # Coordinate descent (lines 12-15 of Algorithm 5)
+    # ------------------------------------------------------------------
     def _coordinate_descent(
         self,
-        mode: int,
-        index: int,
+        old_row: np.ndarray,
+        numerator: np.ndarray,
+        hadamard: np.ndarray,
+        time_shared: dict[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """One clipped coordinate-descent sweep over the row.
+
+        The legacy path always runs the reference loop (pinned float
+        operations).  The vectorised path exploits that one unclipped
+        Gauss-Seidel sweep is the solution of the triangular system ``(L +
+        D + ridge·I) row_new = numerator - U row_old`` (``L``/``U`` the
+        strict triangles of the symmetric Hadamard-of-Grams matrix): it
+        solves that system once and accepts the result whenever every entry
+        lies inside the clipping box — in which case the sequential sweep
+        would never have clipped and computes the same values — falling back
+        to the reference loop otherwise (clipping engaged, non-positive
+        diagonal, or a singular triangle).
+        """
+        if self._cd_legacy:
+            return self._coordinate_descent_reference(old_row, numerator, hadamard)
+        eta = self._cd_eta
+        lower_bound = self._cd_lower
+        ridge = self._cd_ridge
+        if ridge <= 0.0:
+            # Without the ridge a zero Hadamard diagonal is possible, and the
+            # reference loop's "skip this entry" semantics must apply.  (The
+            # diagonal is a product of Gram diagonals, hence never negative.)
+            if (np.diagonal(hadamard) <= 0.0).any():
+                return self._coordinate_descent_reference(
+                    old_row, numerator, hadamard
+                )
+        lower = self._lower_scratch
+        if time_shared is None or time_shared.get("cd_triangles") is not hadamard:
+            # Build T = tril(H) + ridge·I and the strict upper triangle in
+            # the scratch buffers.  The (up to two) time rows of one event
+            # run back to back with the same shared Hadamard matrix, so the
+            # second row reuses the buffers as they stand.
+            np.multiply(hadamard, self._lower_mask, out=lower)
+            if ridge:
+                self._lower_diagonal += ridge
+            np.multiply(hadamard, self._strict_upper_mask, out=self._upper_scratch)
+            if time_shared is not None:
+                time_shared["cd_triangles"] = hadamard
+        rhs = numerator - self._upper_scratch @ old_row
+        if _lapack_trtrs is not None:
+            # rhs is a fresh temporary, so LAPACK may solve in place.
+            candidate, info = _lapack_trtrs(lower, rhs, lower=1, overwrite_b=1)
+            if info != 0:
+                return self._coordinate_descent_reference(
+                    old_row, numerator, hadamard
+                )
+        else:
+            try:
+                candidate = np.linalg.solve(lower, rhs)
+            except np.linalg.LinAlgError:
+                return self._coordinate_descent_reference(
+                    old_row, numerator, hadamard
+                )
+        if candidate.max() <= eta and candidate.min() >= lower_bound:
+            return candidate
+        return self._coordinate_descent_reference(old_row, numerator, hadamard)
+
+    def _coordinate_descent_reference(
+        self,
+        old_row: np.ndarray,
         numerator: np.ndarray,
         hadamard: np.ndarray,
     ) -> np.ndarray:
-        """Entry-by-entry update with clipping (lines 12-15 of Algorithm 5)."""
-        eta = self.config.eta
-        lower = 0.0 if self.config.nonnegative else -eta
-        ridge = self.config.regularization
-        row = self._factors[mode][index, :].copy()
+        """Entry-by-entry update with clipping — the seed implementation."""
+        eta = self._config.eta
+        lower = 0.0 if self._config.nonnegative else -eta
+        ridge = self._config.regularization
+        row = old_row.copy()
         for k in range(self.rank):
             column = hadamard[:, k]
             c_k = column[k] + ridge

@@ -58,6 +58,12 @@ class ExperimentSettings:
         window at the exact period boundary, whereas the per-event loop
         updates them after the first event at-or-past the boundary has been
         applied.
+    sampling:
+        Slice-sampling implementation of the randomised variants
+        (``"vectorized"`` — the fast default — or ``"legacy"``, the original
+        per-draw sampler with a pinned draw stream); forwarded to
+        :class:`repro.core.base.SNSConfig`, ignored by the deterministic
+        variants and the baselines.
     """
 
     dataset: str = "nyc_taxi"
@@ -67,6 +73,7 @@ class ExperimentSettings:
     als_iterations: int = 10
     seed: int = 0
     batched: bool = False
+    sampling: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -86,6 +93,10 @@ class ExperimentSettings:
         if self.als_iterations <= 0:
             raise ConfigurationError(
                 f"als_iterations must be positive, got {self.als_iterations}"
+            )
+        if self.sampling not in ("vectorized", "legacy"):
+            raise ConfigurationError(
+                f"sampling must be 'vectorized' or 'legacy', got {self.sampling!r}"
             )
 
     @property

@@ -137,6 +137,7 @@ def run_method(
     seed: int | None = 0,
     baseline_config: BaselineConfig | None = None,
     batched: bool = False,
+    sampling: str = "vectorized",
 ) -> MethodResult:
     """Replay ``max_events`` window events against one method.
 
@@ -160,7 +161,8 @@ def run_method(
     processor = ContinuousStreamProcessor(stream, window_config)
     if kind == "continuous":
         model = create_algorithm(
-            method, SNSConfig(rank=rank, theta=theta, eta=eta, seed=seed)
+            method,
+            SNSConfig(rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling),
         )
     else:
         if baseline_config is None:
@@ -311,6 +313,7 @@ def run_experiment(
             checkpoint_every=settings.checkpoint_every,
             seed=settings.seed,
             batched=settings.batched,
+            sampling=settings.sampling,
         )
     return ExperimentResult(
         dataset=settings.dataset,

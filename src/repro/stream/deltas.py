@@ -20,6 +20,7 @@ relative to the per-event path.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -254,6 +255,33 @@ class DeltaBatch:
     # ------------------------------------------------------------------
     # Per-event views (exact-semantics consumers)
     # ------------------------------------------------------------------
+    def entry_groups(
+        self,
+    ) -> Iterator[tuple[StreamRecord, int, tuple[tuple[Coordinate, float], ...]]]:
+        """Yield ``(record, step, entries)`` per event, in event order.
+
+        The flat per-event view of the batch: ``entries`` is exactly what the
+        corresponding :class:`Delta` would carry, sliced out of the batch's
+        entry arrays without materialising :class:`WindowEvent` / ``Delta``
+        objects.  The randomised variants' ``update_batch`` iterates this to
+        keep exact per-event semantics at batch speed.
+        """
+        coordinates = self._coordinates
+        values = self._values
+        window_length = self._window_length
+        position = 0
+        for _time, _sequence, _kind, record, step in self._raw_events:
+            if 0 < step < window_length:
+                entries = (
+                    (coordinates[position], values[position]),
+                    (coordinates[position + 1], values[position + 1]),
+                )
+                position += 2
+            else:
+                entries = ((coordinates[position], values[position]),)
+                position += 1
+            yield record, step, entries
+
     @property
     def events(self) -> tuple[WindowEvent, ...]:
         """The batch's events, materialised lazily in chronological order."""

@@ -151,6 +151,34 @@ class TensorWindow:
             self._tensor.add(coordinate, value)
         self._n_deltas_applied += 1
 
+    def apply_entry_changes(
+        self,
+        entries: Sequence[tuple[Coordinate, float]],
+        trusted: bool = False,
+    ) -> None:
+        """Apply one event's entry changes given as ``((coordinate, value), ...)``.
+
+        Equivalent to :meth:`apply_delta` on a delta carrying ``entries``;
+        consumers of :meth:`DeltaBatch.entry_groups` use it to mutate the
+        window per event without materialising ``Delta`` objects.  With
+        ``trusted=True`` (engine-built batches: coordinates validated by
+        construction) per-entry validation is skipped.
+        """
+        tensor = self._tensor
+        if trusted:
+            for coordinate, value in entries:
+                tensor._add_trusted(coordinate, value)
+        else:
+            order = self.order
+            for coordinate, value in entries:
+                if len(coordinate) != order:
+                    raise ShapeError(
+                        f"entry coordinate {coordinate} does not match window "
+                        f"order {order}"
+                    )
+                tensor.add(coordinate, value)
+        self._n_deltas_applied += 1
+
     def apply_batch(self, batch: DeltaBatch) -> None:
         """Apply a coalesced batch of event deltas in one scatter-add.
 

@@ -49,7 +49,14 @@ class SparseTensor:
     Every mutating operation keeps the per-mode inverted index synchronised.
     """
 
-    __slots__ = ("_shape", "_data", "_mode_index")
+    __slots__ = (
+        "_shape",
+        "_data",
+        "_mode_index",
+        "_squared_norm",
+        "_version",
+        "_coo_cache",
+    )
 
     def __init__(
         self,
@@ -67,6 +74,12 @@ class SparseTensor:
         self._mode_index: list[dict[int, set[Coordinate]]] = [
             {} for _ in range(len(shape))
         ]
+        # ||X||_F^2, maintained incrementally by every mutation so norm() /
+        # squared_norm() are O(1) instead of rescanning all nnz entries.
+        self._squared_norm: float = 0.0
+        # Mutation counter stamping the COO-array cache below.
+        self._version: int = 0
+        self._coo_cache: tuple[int, np.ndarray, np.ndarray] | None = None
         if entries is not None:
             for coordinate, value in entries.items():
                 self.set(coordinate, float(value))
@@ -99,6 +112,11 @@ class SparseTensor:
         """Fraction of cells that are non-zero."""
         return self.nnz / self.size
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (stamps the cached COO arrays)."""
+        return self._version
+
     def __len__(self) -> int:
         return self.nnz
 
@@ -126,31 +144,94 @@ class SparseTensor:
         """Return the value stored at ``coordinate`` (0.0 if absent)."""
         return self._data.get(self._validate(coordinate), 0.0)
 
+    def get_batch(self, coordinates: np.ndarray) -> np.ndarray:
+        """Values at an ``(n, order)`` integer coordinate array (0.0 where absent).
+
+        Vectorised gather used by the randomised update rules: bounds are
+        validated once for the whole array and each lookup is a bare dict
+        access, instead of the per-coordinate validation of :meth:`get`.
+        """
+        index_array = np.asarray(coordinates, dtype=np.int64)
+        if index_array.ndim != 2 or index_array.shape[1] != self.order:
+            raise ShapeError(
+                f"coordinate array of shape {index_array.shape} does not "
+                f"match an order-{self.order} tensor"
+            )
+        if index_array.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        self._check_bounds_array(index_array)
+        return self._get_batch_trusted(index_array)
+
+    def _check_bounds_array(self, index_array: np.ndarray) -> None:
+        """Vectorised bounds check; reports the first offending coordinate."""
+        if (index_array < 0).any() or (
+            index_array >= np.asarray(self._shape, dtype=np.int64)
+        ).any():
+            bad = next(
+                tuple(row)
+                for row in index_array.tolist()
+                if any(not 0 <= i < n for i, n in zip(row, self._shape))
+            )
+            raise IndexOutOfBoundsError(
+                f"coordinate {bad} out of bounds for {self._shape}"
+            )
+
+    def _get_batch_trusted(self, coordinates: np.ndarray) -> np.ndarray:
+        """Gather core of :meth:`get_batch`, skipping validation.
+
+        Internal fast path for callers whose coordinates are in bounds by
+        construction (the vectorised slice sampler unranks offsets that
+        cannot leave the tensor's box).
+        """
+        data_get = self._data.get
+        return np.array(
+            [data_get(tuple(row), 0.0) for row in coordinates.tolist()],
+            dtype=np.float64,
+        )
+
     def __getitem__(self, coordinate: Coordinate) -> float:
         return self.get(coordinate)
 
     def set(self, coordinate: Coordinate, value: float) -> None:
         """Set the entry at ``coordinate`` to ``value`` (dropping near-zeros)."""
         coordinate = self._validate(coordinate)
+        self._version += 1
         if abs(value) <= DROP_TOLERANCE:
             self._remove(coordinate)
         else:
-            if coordinate not in self._data:
+            old = self._data.get(coordinate)
+            if old is None:
                 self._index_add(coordinate)
-            self._data[coordinate] = float(value)
+            else:
+                self._squared_norm -= old * old
+            value = float(value)
+            self._squared_norm += value * value
+            self._data[coordinate] = value
 
     def __setitem__(self, coordinate: Coordinate, value: float) -> None:
         self.set(coordinate, value)
 
     def add(self, coordinate: Coordinate, delta: float) -> float:
         """Add ``delta`` to the entry at ``coordinate`` and return the new value."""
-        coordinate = self._validate(coordinate)
-        new_value = self._data.get(coordinate, 0.0) + float(delta)
+        return self._add_trusted(self._validate(coordinate), delta)
+
+    def _add_trusted(self, coordinate: Coordinate, delta: float) -> float:
+        """Core of :meth:`add` for callers with pre-validated int tuples.
+
+        Internal fast path (mirroring :meth:`_add_batch_trusted`) used by the
+        event engine, whose coordinates are validated by construction.
+        """
+        self._version += 1
+        old = self._data.get(coordinate)
+        new_value = (old if old is not None else 0.0) + float(delta)
         if abs(new_value) <= DROP_TOLERANCE:
             self._remove(coordinate)
             return 0.0
-        if coordinate not in self._data:
+        if old is None:
             self._index_add(coordinate)
+        else:
+            self._squared_norm -= old * old
+        self._squared_norm += new_value * new_value
         self._data[coordinate] = new_value
         return new_value
 
@@ -203,15 +284,7 @@ class SparseTensor:
             )
         if not coordinate_list:
             return
-        if (index_array < 0).any() or (
-            index_array >= np.asarray(self._shape, dtype=np.int64)
-        ).any():
-            bad = next(
-                c
-                for c in coordinate_list
-                if any(not 0 <= i < n for i, n in zip(c, self._shape))
-            )
-            raise IndexOutOfBoundsError(f"coordinate {bad} out of bounds for {self._shape}")
+        self._check_bounds_array(index_array)
         self._add_batch_trusted(coordinate_list, value_list)
 
     def _add_batch_trusted(
@@ -225,6 +298,7 @@ class SparseTensor:
         """
         data = self._data
         tolerance = DROP_TOLERANCE
+        self._version += 1
         pending: dict[Coordinate, float] = {}
         pending_get = pending.get
         data_get = data.get
@@ -240,14 +314,24 @@ class SparseTensor:
             if running == 0.0:
                 self._remove(coordinate)
             else:
-                if coordinate not in data:
+                old = data_get(coordinate)
+                if old is None:
                     self._index_add(coordinate)
+                else:
+                    self._squared_norm -= old * old
+                self._squared_norm += running * running
                 data[coordinate] = running
 
     def _remove(self, coordinate: Coordinate) -> None:
-        if coordinate in self._data:
+        old = self._data.get(coordinate)
+        if old is not None:
+            self._squared_norm -= old * old
             del self._data[coordinate]
             self._index_remove(coordinate)
+            if not self._data:
+                # An empty tensor has exactly zero norm; resetting here also
+                # sheds any accumulated float drift at natural zero points.
+                self._squared_norm = 0.0
 
     def _index_add(self, coordinate: Coordinate) -> None:
         for mode, index in enumerate(coordinate):
@@ -282,6 +366,28 @@ class SparseTensor:
         for coordinate in tuple(bucket):
             yield coordinate, self._data[coordinate]
 
+    def mode_slice_arrays(self, mode: int, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` arrays of the ``Omega(mode)_index`` slice.
+
+        Array counterpart of :meth:`mode_slice` — same entries in the same
+        (set-iteration) order, built without the per-entry generator hop.
+        ``indices`` has shape ``(deg, order)`` and ``values`` ``(deg,)``.
+        """
+        self._check_mode(mode)
+        bucket = self._mode_index[mode].get(int(index))
+        if not bucket:
+            return (
+                np.empty((0, self.order), dtype=np.int64),
+                np.empty((0,), dtype=np.float64),
+            )
+        coordinates = tuple(bucket)
+        data = self._data
+        indices = np.asarray(coordinates, dtype=np.int64)
+        values = np.fromiter(
+            (data[c] for c in coordinates), dtype=np.float64, count=len(coordinates)
+        )
+        return indices, values
+
     def degree(self, mode: int, index: int) -> int:
         """Return ``deg(mode, index)``: non-zeros with that mode index."""
         self._check_mode(mode)
@@ -301,12 +407,19 @@ class SparseTensor:
     # Numeric reductions
     # ------------------------------------------------------------------
     def norm(self) -> float:
-        """Frobenius norm ``||X||_F``."""
+        """Frobenius norm ``||X||_F`` (O(1): incrementally maintained)."""
         return math.sqrt(self.squared_norm())
 
     def squared_norm(self) -> float:
-        """Squared Frobenius norm ``||X||_F^2``."""
-        return float(sum(value * value for value in self._data.values()))
+        """Squared Frobenius norm ``||X||_F^2`` (O(1): incrementally maintained).
+
+        The value is updated by every mutation instead of being recomputed
+        from the stored entries, so repeated ``fitness()`` evaluations do not
+        rescan all nnz entries.  Float accumulation can drift from an exact
+        from-scratch sum by a few ulps per mutation (the churn regression test
+        bounds this); the clamp guards against tiny negative residue.
+        """
+        return max(self._squared_norm, 0.0)
 
     def total(self) -> float:
         """Sum of all stored values."""
@@ -354,6 +467,7 @@ class SparseTensor:
         for coordinate, value in self._data.items():
             clone._data[coordinate] = value
             clone._index_add(coordinate)
+        clone._squared_norm = self._squared_norm
         return clone
 
     def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray]:
@@ -362,14 +476,23 @@ class SparseTensor:
         ``indices`` has shape ``(nnz, order)`` and ``values`` shape ``(nnz,)``.
         The ordering is the dict insertion order, which is deterministic for a
         deterministic sequence of mutations.
+
+        The arrays are cached and stamped with the tensor's mutation
+        :attr:`version`: as long as the tensor is not mutated, repeated calls
+        (an ALS sweep solving every mode, fitness evaluations between events)
+        return the same array objects without rebuilding them.  Callers must
+        therefore treat the returned arrays as read-only.
         """
+        cache = self._coo_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
         if self.nnz == 0:
-            return (
-                np.empty((0, self.order), dtype=np.int64),
-                np.empty((0,), dtype=np.float64),
-            )
-        indices = np.array(list(self._data.keys()), dtype=np.int64)
-        values = np.array(list(self._data.values()), dtype=np.float64)
+            indices = np.empty((0, self.order), dtype=np.int64)
+            values = np.empty((0,), dtype=np.float64)
+        else:
+            indices = np.array(list(self._data.keys()), dtype=np.int64)
+            values = np.array(list(self._data.values()), dtype=np.float64)
+        self._coo_cache = (self._version, indices, values)
         return indices, values
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ class TestSNSConfig:
         config = SNSConfig(rank=5)
         assert config.theta == 20
         assert config.eta == 1000.0
+        assert config.sampling == "vectorized"
 
     @pytest.mark.parametrize(
         ("kwargs", "exception"),
@@ -27,6 +28,7 @@ class TestSNSConfig:
             ({"rank": 3, "theta": 0}, ConfigurationError),
             ({"rank": 3, "eta": 0.0}, ConfigurationError),
             ({"rank": 3, "regularization": -1.0}, ConfigurationError),
+            ({"rank": 3, "sampling": "bogus"}, ConfigurationError),
         ],
     )
     def test_invalid(self, kwargs, exception):

@@ -1,11 +1,17 @@
-"""Unit tests for :mod:`repro.core.sampling`."""
+"""Unit and property tests for :mod:`repro.core.sampling`."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.sampling import sample_slice_coordinates
+import repro.core.sampling as sampling_module
+from repro.core.sampling import (
+    sample_slice_coordinates,
+    sample_slice_coordinates_array,
+)
 from repro.exceptions import ShapeError
 
 
@@ -59,3 +65,182 @@ class TestSampleSliceCoordinates:
         )
         assert len(samples) == 25
         assert all(coordinate[2] == 2 for coordinate in samples)
+
+    def test_exhausted_rejection_falls_back_to_enumeration(self, rng, monkeypatch):
+        """Regression: rejection must never under-deliver while cells remain.
+
+        With the attempt budget forced to a single draw, the rejection loop
+        cannot possibly collect the requested count on its own — the
+        enumeration fallback has to deliver the rest.
+        """
+        monkeypatch.setattr(sampling_module, "_ENUMERATION_LIMIT", 0)
+        monkeypatch.setattr(sampling_module, "_REJECTION_ATTEMPTS_PER_SAMPLE", 0)
+        monkeypatch.setattr(sampling_module, "_REJECTION_ATTEMPTS_BASE", 1)
+        exclude = [(0, j) for j in range(4)]
+        samples = sample_slice_coordinates(
+            (10, 10), mode=0, index=0, count=6, rng=rng, exclude=exclude
+        )
+        assert len(samples) == 6
+        assert len(set(samples)) == 6
+        assert set(samples).isdisjoint(exclude)
+        assert all(coordinate[0] == 0 for coordinate in samples)
+
+
+@st.composite
+def slice_case(draw):
+    """A random slice-sampling request with a mixed exclusion list."""
+    order = draw(st.integers(min_value=1, max_value=4))
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=6)) for _ in range(order)
+    )
+    mode = draw(st.integers(min_value=0, max_value=order - 1))
+    index = draw(st.integers(min_value=0, max_value=shape[mode] - 1))
+    count = draw(st.integers(min_value=0, max_value=40))
+    exclude = []
+    for _ in range(draw(st.integers(min_value=0, max_value=10))):
+        coordinate = list(
+            draw(st.integers(min_value=0, max_value=size - 1)) for size in shape
+        )
+        if draw(st.booleans()):
+            coordinate[mode] = index  # land the exclusion inside the slice
+        exclude.append(tuple(coordinate))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return shape, mode, index, count, exclude, seed
+
+
+class TestSampleSliceCoordinatesArray:
+    @given(slice_case())
+    @settings(max_examples=120, deadline=None)
+    def test_invariants(self, case):
+        """Bounds, fixed mode, dedup, exclusion, and exact delivery."""
+        shape, mode, index, count, exclude, seed = case
+        rng = np.random.default_rng(seed)
+        samples = sample_slice_coordinates_array(
+            shape, mode, index, count, rng, exclude=exclude
+        )
+        assert samples.dtype == np.int64
+        assert samples.ndim == 2 and samples.shape[1] == len(shape)
+        assert (samples >= 0).all()
+        assert (samples < np.asarray(shape, dtype=np.int64)).all()
+        assert (samples[:, mode] == index).all()
+        rows = {tuple(row) for row in samples.tolist()}
+        assert len(rows) == samples.shape[0]  # no duplicates
+        assert rows.isdisjoint(exclude)
+        slice_cells = int(
+            np.prod([n for m, n in enumerate(shape) if m != mode], dtype=np.int64)
+        )
+        eligible = slice_cells - len(
+            {c for c in exclude if c[mode] == index}
+        )
+        assert samples.shape[0] == max(0, min(count, eligible))
+
+    @given(slice_case())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_legacy_eligible_set(self, case):
+        """Both samplers draw from exactly the same eligible cells."""
+        shape, mode, index, count, exclude, seed = case
+        vectorized = sample_slice_coordinates_array(
+            shape, mode, index, count, np.random.default_rng(seed), exclude=exclude
+        )
+        legacy = sample_slice_coordinates(
+            shape, mode, index, count, np.random.default_rng(seed), exclude=exclude
+        )
+        assert vectorized.shape[0] == len(legacy)
+
+    def test_deterministic_with_seed(self):
+        a = sample_slice_coordinates_array(
+            (6, 6, 6), 2, 1, 5, np.random.default_rng(3)
+        )
+        b = sample_slice_coordinates_array(
+            (6, 6, 6), 2, 1, 5, np.random.default_rng(3)
+        )
+        assert (a == b).all()
+
+    def test_invalid_mode_or_index_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            sample_slice_coordinates_array((3, 3), 2, 0, 1, rng)
+        with pytest.raises(ShapeError):
+            sample_slice_coordinates_array((3, 3), 0, 3, 1, rng)
+
+    def test_zero_count_and_everything_excluded(self, rng):
+        assert sample_slice_coordinates_array((3, 3), 0, 0, 0, rng).shape == (0, 2)
+        exclude = [(1, 0), (1, 1)]
+        assert sample_slice_coordinates_array(
+            (2, 2), 0, 1, 3, rng, exclude=exclude
+        ).shape == (0, 2)
+
+    def test_large_slice_rejection_rounds(self, rng):
+        samples = sample_slice_coordinates_array(
+            (1000, 1000, 4), mode=2, index=2, count=25, rng=rng
+        )
+        assert samples.shape == (25, 3)
+        assert (samples[:, 2] == 2).all()
+        assert len({tuple(row) for row in samples.tolist()}) == 25
+
+    def test_dense_request_delivers_all_eligible(self, rng):
+        # count >= eligible: every eligible cell must come back exactly once.
+        samples = sample_slice_coordinates_array((3, 2, 2), 0, 1, 50, rng)
+        assert samples.shape == (4, 3)
+        assert len({tuple(row) for row in samples.tolist()}) == 4
+
+    def test_out_of_bounds_exclusions_are_ignored(self, rng):
+        """Regression: an OOB exclusion must neither crash the dense path
+        nor alias onto a valid slice offset."""
+        samples = sample_slice_coordinates_array(
+            (3, 3), 0, 0, 3, rng, exclude=[(0, 5), (0, -1)]
+        )
+        assert samples.shape == (3, 2)  # all three eligible cells delivered
+        # A multi-mode coordinate whose flat offset would alias in-bounds.
+        samples = sample_slice_coordinates_array(
+            (3, 5, 4), 0, 1, 100, rng, exclude=[(1, 7, 0)]
+        )
+        assert samples.shape == (20, 3)  # nothing actually excluded
+
+    def test_rejection_cap_falls_back_to_enumeration(self, rng, monkeypatch):
+        """The vectorised rejection loop must also never under-deliver."""
+        monkeypatch.setattr(sampling_module, "_VECTORIZED_MAX_ROUNDS", 0)
+        monkeypatch.setattr(sampling_module, "_DENSE_REQUEST_FRACTION", 2.0)
+        samples = sample_slice_coordinates_array((10, 10), 0, 0, 6, rng)
+        assert samples.shape == (6, 2)
+        assert len({tuple(row) for row in samples.tolist()}) == 6
+
+
+class TestStatisticalAgreement:
+    def test_legacy_and_vectorized_sample_uniformly(self):
+        """Both samplers are uniform over the eligible cells.
+
+        4 x 4 slice with one excluded cell → 15 eligible cells; drawing 3
+        per call, each cell's inclusion probability is 3/15 = 0.2.  With
+        4000 calls the binomial 3-sigma band is ~±0.019, so the ±0.04
+        assertion is a >6-sigma bound (and the runs are seeded).
+        """
+        shape, mode, index, count = (4, 4, 3), 2, 1, 3
+        exclude = [(0, 0, 1)]
+        n_rounds = 4000
+        eligible = 15
+        expected = count / eligible
+
+        def frequencies(sampler, seed, as_array):
+            rng = np.random.default_rng(seed)
+            counts: dict[tuple[int, ...], int] = {}
+            for _ in range(n_rounds):
+                samples = sampler(shape, mode, index, count, rng, exclude=exclude)
+                rows = (
+                    (tuple(row) for row in samples.tolist())
+                    if as_array
+                    else samples
+                )
+                for row in rows:
+                    counts[row] = counts.get(row, 0) + 1
+            assert len(counts) == eligible  # every eligible cell was seen
+            return {cell: n / n_rounds for cell, n in counts.items()}
+
+        legacy = frequencies(sample_slice_coordinates, 101, as_array=False)
+        vectorized = frequencies(
+            sample_slice_coordinates_array, 202, as_array=True
+        )
+        for cell_frequencies in (legacy, vectorized):
+            for cell, frequency in cell_frequencies.items():
+                assert frequency == pytest.approx(expected, abs=0.04), cell
+        for cell in legacy:
+            assert legacy[cell] == pytest.approx(vectorized[cell], abs=0.05)

@@ -186,6 +186,42 @@ def test_models_reach_identical_factors(name, case):
         )
 
 
+@pytest.mark.parametrize("sampling", ["legacy", "vectorized"])
+@pytest.mark.parametrize("name", ["sns_rnd", "sns_rnd_plus"])
+@given(case=stream_and_config())
+@settings(max_examples=10, deadline=None)
+def test_randomized_variants_equivalent_under_both_samplers(name, sampling, case):
+    """The randomised ``update_batch`` overrides must be exact for both
+    sampler implementations: sequential and batched runs consume identical
+    draw streams and land on identical factors."""
+    stream, config, start_time, batch_window = case
+    rank = 2
+    rng = np.random.default_rng(7)
+    factors = [
+        rng.standard_normal((size, rank)) * 0.1 for size in config.shape
+    ]
+    sns_config = SNSConfig(rank=rank, theta=3, eta=100.0, seed=11, sampling=sampling)
+
+    sequential = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    model_sequential = create_algorithm(name, sns_config)
+    model_sequential.initialize(sequential.window, factors)
+    for _, delta in sequential.events():
+        model_sequential.update(delta)
+
+    batched = ContinuousStreamProcessor(stream, config, start_time=start_time)
+    model_batched = create_algorithm(name, sns_config)
+    model_batched.initialize(batched.window, factors)
+    batched.run_batched(model=model_batched, batch_window=batch_window)
+
+    assert model_batched.n_updates == model_sequential.n_updates
+    for factor_sequential, factor_batched in zip(
+        model_sequential.factors, model_batched.factors
+    ):
+        assert np.allclose(
+            factor_batched, factor_sequential, atol=1e-8, rtol=0.0, equal_nan=True
+        )
+
+
 @given(stream_and_config(), st.integers(min_value=1, max_value=10))
 @settings(max_examples=40, deadline=None)
 def test_run_batched_respects_max_events(case, max_events):

@@ -147,6 +147,160 @@ class TestReductions:
             SparseTensor((2, 2)).inner(SparseTensor((2, 3)))
 
 
+class TestGetBatch:
+    def test_values_and_zeros(self):
+        tensor = SparseTensor((3, 3), entries={(0, 1): 2.0, (2, 2): -1.5})
+        coordinates = np.array([[0, 1], [1, 1], [2, 2]], dtype=np.int64)
+        values = tensor.get_batch(coordinates)
+        assert values.dtype == np.float64
+        assert values.tolist() == [2.0, 0.0, -1.5]
+
+    def test_matches_get(self, small_tensor, rng):
+        coordinates = np.column_stack(
+            [rng.integers(0, n, size=50) for n in small_tensor.shape]
+        )
+        values = small_tensor.get_batch(coordinates)
+        expected = [small_tensor.get(tuple(row)) for row in coordinates.tolist()]
+        assert values.tolist() == expected
+
+    def test_empty(self):
+        tensor = SparseTensor((2, 2))
+        assert tensor.get_batch(np.empty((0, 2), dtype=np.int64)).shape == (0,)
+
+    def test_wrong_shape_rejected(self):
+        tensor = SparseTensor((2, 2))
+        with pytest.raises(ShapeError):
+            tensor.get_batch(np.zeros((3, 3), dtype=np.int64))
+
+    def test_out_of_bounds_rejected(self):
+        tensor = SparseTensor((2, 2))
+        with pytest.raises(IndexOutOfBoundsError):
+            tensor.get_batch(np.array([[0, 2]], dtype=np.int64))
+        with pytest.raises(IndexOutOfBoundsError):
+            tensor.get_batch(np.array([[-1, 0]], dtype=np.int64))
+
+
+class TestIncrementalSquaredNorm:
+    def _exact(self, tensor: SparseTensor) -> float:
+        return float(sum(value * value for _, value in tensor.items()))
+
+    def test_churn_regression(self, rng):
+        """Heavy add/remove/drop-tolerance traffic must not drift the norm.
+
+        The squared norm is maintained incrementally (O(1) reads), so a long
+        random mutation history — including exact cancellations and
+        sub-tolerance snaps, the hostile cases for an accumulator — must stay
+        within float round-off of a from-scratch recompute.
+        """
+        tensor = SparseTensor((5, 6, 4))
+        coordinates = [
+            (int(i), int(j), int(k))
+            for i, j, k in zip(
+                rng.integers(0, 5, size=3000),
+                rng.integers(0, 6, size=3000),
+                rng.integers(0, 4, size=3000),
+            )
+        ]
+        for step, coordinate in enumerate(coordinates):
+            action = step % 5
+            if action == 0:
+                tensor.add(coordinate, float(rng.normal(scale=10.0)))
+            elif action == 1:
+                tensor.set(coordinate, float(rng.normal(scale=0.1)))
+            elif action == 2:
+                # Exact cancellation: forces removal through the add path.
+                tensor.add(coordinate, -tensor.get(coordinate))
+            elif action == 3:
+                # Sub-tolerance value: snapped to zero and dropped.
+                tensor.set(coordinate, DROP_TOLERANCE / 3)
+            else:
+                tensor.add(coordinate, float(rng.normal()))
+        assert tensor.nnz > 0
+        assert tensor.squared_norm() == pytest.approx(
+            self._exact(tensor), rel=1e-9, abs=1e-12
+        )
+        assert tensor.norm() == pytest.approx(
+            math.sqrt(self._exact(tensor)), rel=1e-9, abs=1e-12
+        )
+
+    def test_add_batch_churn(self, rng):
+        tensor = SparseTensor((4, 4))
+        for _ in range(50):
+            coordinates = [
+                (int(i), int(j))
+                for i, j in zip(rng.integers(0, 4, size=40), rng.integers(0, 4, size=40))
+            ]
+            values = rng.normal(size=40).tolist()
+            # Fold in exact cancellations of existing entries.
+            for coordinate, value in list(tensor.items())[:5]:
+                coordinates.append(coordinate)
+                values.append(-value)
+            tensor.add_batch(coordinates, values)
+        assert tensor.squared_norm() == pytest.approx(
+            self._exact(tensor), rel=1e-9, abs=1e-12
+        )
+
+    def test_emptied_tensor_has_exactly_zero_norm(self):
+        tensor = SparseTensor((2, 2))
+        tensor.add((0, 0), 0.1)
+        tensor.add((0, 1), 0.3)
+        tensor.add((0, 0), -0.1)
+        tensor.add((0, 1), -0.3)
+        assert tensor.nnz == 0
+        assert tensor.squared_norm() == 0.0
+        assert tensor.norm() == 0.0
+
+    def test_copy_preserves_norm(self):
+        tensor = SparseTensor((2, 2), entries={(0, 0): 3.0, (1, 1): 4.0})
+        assert tensor.copy().squared_norm() == tensor.squared_norm()
+
+
+class TestCooCache:
+    def test_unmutated_tensor_returns_cached_arrays(self):
+        tensor = SparseTensor((2, 3), entries={(0, 1): 2.0, (1, 2): -1.0})
+        first = tensor.to_coo_arrays()
+        second = tensor.to_coo_arrays()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_mutation_invalidates_cache(self):
+        tensor = SparseTensor((2, 3), entries={(0, 1): 2.0})
+        indices, values = tensor.to_coo_arrays()
+        tensor.add((1, 2), 5.0)
+        new_indices, new_values = tensor.to_coo_arrays()
+        assert new_indices is not indices
+        assert new_values.shape == (2,)
+        rebuilt = {
+            tuple(index): value for index, value in zip(new_indices, new_values)
+        }
+        assert rebuilt == {(0, 1): 2.0, (1, 2): 5.0}
+
+    def test_every_mutation_path_bumps_version(self):
+        tensor = SparseTensor((2, 2))
+        version = tensor.version
+        tensor.set((0, 0), 1.0)
+        assert tensor.version > version
+        version = tensor.version
+        tensor.add((0, 1), 2.0)
+        assert tensor.version > version
+        version = tensor.version
+        tensor.add_batch([(1, 1)], [3.0])
+        assert tensor.version > version
+        version = tensor.version
+        tensor.set((0, 0), 0.0)  # removal path
+        assert tensor.version > version
+
+    def test_cached_empty_tensor(self):
+        tensor = SparseTensor((2, 3))
+        indices, values = tensor.to_coo_arrays()
+        assert indices.shape == (0, 2)
+        assert tensor.to_coo_arrays()[0] is indices
+        tensor.set((1, 1), 4.0)
+        indices, values = tensor.to_coo_arrays()
+        assert indices.shape == (1, 2)
+        assert values.tolist() == [4.0]
+
+
 class TestConversions:
     def test_dense_roundtrip(self, small_tensor):
         dense = small_tensor.to_dense()
