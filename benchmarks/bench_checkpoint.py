@@ -1,0 +1,129 @@
+"""Checkpoint subsystem overhead: snapshot save / load / restore timings.
+
+Measures the wall-clock cost of ``save_checkpoint`` and ``restore_run`` for a
+mid-size run (nyc_taxi-like stream, SNS+_RND model state included), the
+on-disk footprint of the two checkpoint files, and — as a guard — verifies
+that a restored run really continues bit-identically.  Results are written to
+``results/BENCH_checkpoint.json`` / ``.txt``.
+
+The interesting number is the save cost relative to event throughput: a
+checkpoint every N events adds ``save_seconds / N`` amortised seconds per
+event, which the JSON reports as the break-even cadence for a 1% overhead.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks._reporting import emit, emit_json
+from benchmarks.conftest import scaled_events
+
+from repro.als.als import decompose
+from repro.core.base import SNSConfig
+from repro.core.registry import create_algorithm
+from repro.data.generators import generate_dataset
+from repro.stream.checkpoint import ARRAYS_FILENAME, MANIFEST_FILENAME, restore_run
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+BENCH_DATASET = "nyc_taxi"
+BENCH_SCALE = 0.2
+BENCH_EVENTS = 1500
+BENCH_REPEATS = 7
+
+
+def _prepare():
+    stream, spec = generate_dataset(BENCH_DATASET, scale=BENCH_SCALE)
+    config = WindowConfig(
+        mode_sizes=spec.mode_sizes,
+        window_length=spec.window_length,
+        period=spec.period,
+    )
+    processor = ContinuousStreamProcessor(stream, config)
+    initial = decompose(processor.window.tensor, rank=spec.rank, n_iterations=8, seed=0)
+    model = create_algorithm(
+        "sns_rnd_plus",
+        SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, seed=0),
+    )
+    model.initialize(processor.window, initial.decomposition)
+    return processor, model
+
+
+def test_checkpoint_overhead():
+    n_events = scaled_events(BENCH_EVENTS, minimum=300)
+    processor, model = _prepare()
+    replay_start = time.perf_counter()
+    processor.run_batched(model=model, max_events=n_events)
+    replay_seconds = time.perf_counter() - replay_start
+    events_per_second = n_events / replay_seconds
+
+    save_times: list[float] = []
+    load_times: list[float] = []
+    manifest_bytes = arrays_bytes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "ckpt"
+        for _ in range(BENCH_REPEATS):
+            start = time.perf_counter()
+            processor.save_checkpoint(target, model=model)
+            save_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            restored_processor, restored_model, _ = restore_run(target)
+            load_times.append(time.perf_counter() - start)
+        manifest_bytes = (target / MANIFEST_FILENAME).stat().st_size
+        arrays_bytes = (target / ARRAYS_FILENAME).stat().st_size
+
+        # Guard: the restored run must continue bit-identically.
+        continue_events = max(n_events // 10, 50)
+        processor.run_batched(model=model, max_events=continue_events)
+        restored_processor.run_batched(model=restored_model, max_events=continue_events)
+        assert dict(restored_processor.window.tensor.items()) == dict(
+            processor.window.tensor.items()
+        )
+        assert all(
+            (restored == live).all()
+            for restored, live in zip(restored_model.factors, model.factors)
+        )
+
+    save_seconds = min(save_times)
+    load_seconds = min(load_times)
+    # Events one checkpoint must amortise over to stay under 1% overhead.
+    break_even_events = int(save_seconds * events_per_second * 100)
+    payload = {
+        "workload": {
+            "dataset": BENCH_DATASET,
+            "scale": BENCH_SCALE,
+            "events": n_events,
+            "model": "sns_rnd_plus",
+            "window_nnz": processor.window.nnz,
+        },
+        "save_seconds": save_seconds,
+        "load_seconds": load_seconds,
+        "save_times": save_times,
+        "load_times": load_times,
+        "manifest_bytes": manifest_bytes,
+        "arrays_bytes": arrays_bytes,
+        "replay_events_per_second": events_per_second,
+        "checkpoint_events_for_1pct_overhead": break_even_events,
+    }
+    emit_json("BENCH_checkpoint", payload)
+    report = "\n".join(
+        [
+            f"workload: {BENCH_DATASET} @ {BENCH_SCALE}, {n_events} events, "
+            f"sns_rnd_plus, window nnz={processor.window.nnz}",
+            f"save_checkpoint: {save_seconds * 1e3:.2f} ms (best of {BENCH_REPEATS})",
+            f"restore_run:     {load_seconds * 1e3:.2f} ms (best of {BENCH_REPEATS})",
+            f"on disk: manifest {manifest_bytes} B + arrays {arrays_bytes} B",
+            f"engine throughput during replay: {events_per_second:,.0f} ev/s",
+            "checkpoint cadence for <=1% replay overhead: every "
+            f">= {break_even_events} events",
+            "restored run verified bit-identical (window + factors) after "
+            "continuation",
+        ]
+    )
+    emit("BENCH_checkpoint", report)
+
+
+if __name__ == "__main__":
+    test_checkpoint_overhead()

@@ -67,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
+        "--n-checkpoints",
+        type=int,
+        default=20,
+        metavar="N",
+        help=(
+            "number of fitness samples taken over the replay (the cadence "
+            "is max-events / N); keep the implied cadence fixed across an "
+            "interrupted run and its --resume continuation to get "
+            "identically-placed samples"
+        ),
+    )
+    parser.add_argument(
         "--batched",
         action="store_true",
         help=(
@@ -87,6 +99,37 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-for-bit"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the full run state of every continuous method under "
+            "DIR/<method> (window, scheduler, factors, RNG stream); an "
+            "interrupted run restarted with --resume continues exactly "
+            "where it stopped"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --checkpoint-dir: save a checkpoint every N replayed "
+            "events (default: only at the end of the run)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume each continuous method from its checkpoint under "
+            "--checkpoint-dir when one exists, replaying only the remaining "
+            "events up to --max-events; the result is exactly what an "
+            "uninterrupted run would have produced"
+        ),
+    )
     return parser
 
 
@@ -95,9 +138,13 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         dataset=args.dataset,
         scale=args.scale,
         max_events=args.max_events,
+        n_checkpoints=args.n_checkpoints,
         seed=args.seed,
         batched=args.batched,
         sampling=args.sampling,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_events=args.checkpoint_events,
+        resume=args.resume,
     )
 
 
@@ -112,9 +159,13 @@ def run(argv: Sequence[str] | None = None) -> str:
         overrides = {
             "scale": args.scale,
             "max_events": args.max_events,
+            "n_checkpoints": args.n_checkpoints,
             "seed": args.seed,
             "batched": args.batched,
             "sampling": args.sampling,
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_events": args.checkpoint_events,
+            "resume": args.resume,
         }
         return format_speed_fitness(run_speed_fitness(settings_overrides=overrides))
     if args.experiment == "fig6":

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -228,6 +229,109 @@ class ContinuousCPD(abc.ABC):
 
     def _post_initialize(self) -> None:
         """Hook for subclasses that maintain extra state (e.g. prev-Grams)."""
+
+    # ------------------------------------------------------------------
+    # Checkpoint state protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Full serializable run state of this model.
+
+        Returns a nested dict of plain values and numpy arrays: the registry
+        ``name``, the hyper-parameter ``config`` (as a plain dict), the
+        ``n_updates`` counter, the numpy ``Generator`` bit-generator state
+        (so the sampling draw stream — legacy or vectorized — resumes on the
+        exact same draws), the factor and Gram matrices, and a variant-
+        specific ``aux`` dict (:meth:`_aux_state`).  Together with the
+        window this is everything needed to continue the run exactly; see
+        :mod:`repro.stream.checkpoint` for the on-disk format.
+        """
+        self._require_initialized()
+        return {
+            "name": self.name,
+            "config": dataclasses.asdict(self._config),
+            "n_updates": int(self._n_updates),
+            "rng_state": self._rng.bit_generator.state,
+            "factors": [factor.copy() for factor in self._factors],
+            "grams": [gram.copy() for gram in self._grams],
+            "aux": self._aux_state(),
+        }
+
+    def load_state(self, window: TensorWindow, state: Mapping[str, Any]) -> None:
+        """Adopt ``window`` and restore the run state saved by :meth:`state_dict`.
+
+        ``window`` must already hold the tensor state the checkpoint was
+        taken at (the checkpoint restore path rebuilds it first).  The model
+        must have been constructed with the same hyper-parameters as the
+        saved one; a mismatch in ``name`` or ``config`` raises
+        :class:`~repro.exceptions.ConfigurationError` instead of silently
+        resuming a different algorithm.
+        """
+        name = state.get("name")
+        if name != self.name:
+            raise ConfigurationError(
+                f"cannot load state of algorithm {name!r} into {self.name!r}"
+            )
+        saved_config = state.get("config")
+        current_config = dataclasses.asdict(self._config)
+        if saved_config is not None and dict(saved_config) != current_config:
+            mismatched = sorted(
+                key
+                for key in set(saved_config) | set(current_config)
+                if dict(saved_config).get(key) != current_config.get(key)
+            )
+            raise ConfigurationError(
+                f"checkpointed config does not match this instance "
+                f"(differs in {mismatched})"
+            )
+        factors = [
+            np.array(factor, dtype=np.float64, copy=True)
+            for factor in state["factors"]
+        ]
+        if len(factors) != window.order:
+            raise ShapeError(
+                f"{len(factors)} factor matrices for an order-{window.order} window"
+            )
+        rank = self._config.rank
+        for mode, factor in enumerate(factors):
+            expected = (window.shape[mode], rank)
+            if factor.shape != expected:
+                raise ShapeError(
+                    f"factor {mode} has shape {factor.shape}, expected {expected}"
+                )
+        grams = [
+            np.array(gram, dtype=np.float64, copy=True) for gram in state["grams"]
+        ]
+        if len(grams) != len(factors) or any(
+            gram.shape != (rank, rank) for gram in grams
+        ):
+            raise ShapeError("Gram matrices do not match the factor layout")
+        self._window = window
+        self._factors = factors
+        self._grams = grams
+        self._n_updates = int(state.get("n_updates", 0))
+        self._rng = np.random.default_rng(self._config.seed)
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state
+        self._post_restore()
+        self._load_aux_state(state.get("aux") or {})
+
+    def _aux_state(self) -> dict[str, Any]:
+        """Variant-specific extra state (arrays / lists of arrays)."""
+        return {}
+
+    def _load_aux_state(self, aux: Mapping[str, Any]) -> None:
+        """Restore what :meth:`_aux_state` saved (after :meth:`_post_restore`)."""
+
+    def _post_restore(self) -> None:
+        """Rebuild derived buffers after :meth:`load_state`.
+
+        Defaults to :meth:`_post_initialize`; subclasses whose
+        ``_post_initialize`` *transforms* the adopted state rather than just
+        deriving scratch from it (``SNSMat`` re-normalises the factors)
+        override this to skip the transformation.
+        """
+        self._post_initialize()
 
     def update(self, delta: Delta) -> None:
         """Update the factor matrices in response to one window event."""

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.base import ContinuousCPD
 from repro.core.sampling import SliceSampler, sample_slice_coordinates
+from repro.exceptions import ConfigurationError
 from repro.stream.deltas import Delta, DeltaBatch
 
 try:  # SciPy is optional: direct LAPACK wrappers skip numpy.linalg's
@@ -75,6 +76,29 @@ class RandomizedCPD(ContinuousCPD):
     def prev_grams(self) -> list[np.ndarray]:
         """Maintained ``A_prev(m)' A(m)`` matrices (Eq. 17 / Eq. 26)."""
         return self._prev_grams
+
+    def _aux_state(self):
+        # Strictly, prev-Grams are re-snapshotted from the Grams at the start
+        # of every event before being read — but persisting them keeps the
+        # restored object state identical to the saved one, not just
+        # observationally equivalent.
+        return {"prev_grams": [gram.copy() for gram in self._prev_grams]}
+
+    def _load_aux_state(self, aux) -> None:
+        prev_grams = aux.get("prev_grams")
+        if prev_grams is None:
+            return  # _post_initialize already reset them from the Grams
+        rank = self.rank
+        restored = [
+            np.array(gram, dtype=np.float64, copy=True) for gram in prev_grams
+        ]
+        if len(restored) != self.order or any(
+            gram.shape != (rank, rank) for gram in restored
+        ):
+            raise ConfigurationError(
+                "checkpointed prev-Gram matrices do not match the factor layout"
+            )
+        self._prev_grams = restored
 
     # ------------------------------------------------------------------
     # Algorithm 3 outline

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.als.mttkrp import mttkrp, mttkrp_coo
 from repro.core.base import ContinuousCPD, SNSConfig
+from repro.exceptions import ConfigurationError
 from repro.core.normalization import combine_weights, normalize_columns
 from repro.stream.deltas import Delta, DeltaBatch
 from repro.tensor.kruskal import KruskalTensor
@@ -38,6 +39,26 @@ class SNSMat(ContinuousCPD):
             self._grams[mode] = normalized.T @ normalized
             weight_vectors.append(norms)
         self._weights = combine_weights(weight_vectors)
+
+    def _aux_state(self):
+        return {"weights": self._weights.copy()}
+
+    def _load_aux_state(self, aux) -> None:
+        weights = aux.get("weights")
+        if weights is None:
+            raise ConfigurationError("SNSMat checkpoint state is missing 'weights'")
+        weights = np.array(weights, dtype=np.float64, copy=True)
+        if weights.shape != (self.rank,):
+            raise ConfigurationError(
+                f"weights of shape {weights.shape} do not match rank {self.rank}"
+            )
+        self._weights = weights
+
+    def _post_restore(self) -> None:
+        # _post_initialize would re-normalise the already-normalised restored
+        # factors and overwrite the saved λ; the checkpointed state is adopted
+        # verbatim instead (weights arrive via _load_aux_state).
+        pass
 
     @property
     def weights(self) -> np.ndarray:

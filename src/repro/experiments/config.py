@@ -9,6 +9,7 @@ follow Table III via :class:`repro.data.datasets.DatasetSpec`.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 from repro.data.datasets import DATASETS, DatasetSpec, get_dataset_spec
 from repro.exceptions import ConfigurationError
@@ -43,7 +44,8 @@ class ExperimentSettings:
     max_events:
         Number of window events replayed after initialisation.
     n_checkpoints:
-        Number of fitness checkpoints taken during the replay.
+        Number of fitness samples taken during the replay (sets the
+        :attr:`fitness_every` cadence).
     als_iterations:
         ALS sweeps used to initialise every method.
     seed:
@@ -64,6 +66,20 @@ class ExperimentSettings:
         per-draw sampler with a pinned draw stream); forwarded to
         :class:`repro.core.base.SNSConfig`, ignored by the deterministic
         variants and the baselines.
+    checkpoint_dir:
+        Directory for *real* on-disk checkpoints
+        (:mod:`repro.stream.checkpoint`); each continuous method saves its
+        run state under ``<checkpoint_dir>/<method>``.  ``None`` (default)
+        disables checkpointing.  Periodic baselines carry no checkpointable
+        state and are skipped.
+    checkpoint_events:
+        Save a checkpoint every this many replayed events (in addition to the
+        final save when ``checkpoint_dir`` is set).  ``None`` saves only at
+        the end of the run.
+    resume:
+        Resume each method from its checkpoint under ``checkpoint_dir`` when
+        one exists, continuing to ``max_events`` total events; requires
+        ``checkpoint_dir``.
     """
 
     dataset: str = "nyc_taxi"
@@ -74,6 +90,9 @@ class ExperimentSettings:
     seed: int = 0
     batched: bool = False
     sampling: str = "vectorized"
+    checkpoint_dir: str | None = None
+    checkpoint_events: int | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -98,6 +117,19 @@ class ExperimentSettings:
             raise ConfigurationError(
                 f"sampling must be 'vectorized' or 'legacy', got {self.sampling!r}"
             )
+        if self.checkpoint_events is not None and self.checkpoint_events <= 0:
+            raise ConfigurationError(
+                f"checkpoint_events must be positive, got {self.checkpoint_events}"
+            )
+        if self.checkpoint_events is not None and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_events requires checkpoint_dir — without it no "
+                "checkpoint would ever be written"
+            )
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume=True requires checkpoint_dir to locate the checkpoint"
+            )
 
     @property
     def spec(self) -> DatasetSpec:
@@ -105,9 +137,27 @@ class ExperimentSettings:
         return get_dataset_spec(self.dataset)
 
     @property
-    def checkpoint_every(self) -> int:
-        """Events between two fitness checkpoints."""
+    def fitness_every(self) -> int:
+        """Events between two fitness samples during the replay."""
         return max(self.max_events // self.n_checkpoints, 1)
+
+    @property
+    def checkpoint_every(self) -> int:
+        """Deprecated alias of :attr:`fitness_every`.
+
+        Historically this fitness-sampling cadence was called
+        ``checkpoint_every``, which collided with the real on-disk
+        checkpoints once those existed (``checkpoint_dir`` /
+        ``checkpoint_events``).
+        """
+        warnings.warn(
+            "ExperimentSettings.checkpoint_every is deprecated; use "
+            "fitness_every (it is the fitness-sampling cadence, not an "
+            "on-disk checkpoint interval)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.fitness_every
 
 
 def default_settings(dataset: str = "nyc_taxi", **overrides: object) -> ExperimentSettings:

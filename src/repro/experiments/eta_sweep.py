@@ -40,7 +40,7 @@ def run_eta_sweep(
         initial_factors=initial,
         rank=spec.rank,
         max_events=settings.max_events,
-        checkpoint_every=settings.checkpoint_every,
+        fitness_every=settings.fitness_every,
         seed=settings.seed,
     )
     rel: dict[str, list[float]] = {method: [] for method in methods}
@@ -55,7 +55,7 @@ def run_eta_sweep(
                 theta=spec.theta,
                 eta=float(eta),
                 max_events=settings.max_events,
-                checkpoint_every=settings.checkpoint_every,
+                fitness_every=settings.fitness_every,
                 seed=settings.seed,
             )
             rel[method].append(

@@ -117,7 +117,7 @@ def run_granularity(
         theta=spec.theta,
         eta=spec.eta,
         max_events=settings.max_events,
-        checkpoint_every=settings.checkpoint_every,
+        fitness_every=settings.fitness_every,
         seed=settings.seed,
     )
     points.append(

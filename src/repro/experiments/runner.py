@@ -11,7 +11,9 @@ reproducing the protocol of Section VI-A.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +30,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentSettings
 from repro.metrics.fitness import relative_fitness
 from repro.metrics.timing import UpdateTimer
+from repro.stream.checkpoint import is_checkpoint, restore_run
 from repro.stream.processor import ContinuousStreamProcessor
 from repro.stream.stream import MultiAspectStream
 from repro.stream.window import WindowConfig
@@ -133,11 +136,15 @@ def run_method(
     theta: int = 20,
     eta: float = 1000.0,
     max_events: int = 3000,
-    checkpoint_every: int = 150,
+    fitness_every: int = 150,
     seed: int | None = 0,
     baseline_config: BaselineConfig | None = None,
     batched: bool = False,
     sampling: str = "vectorized",
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_events: int | None = None,
+    resume: bool = False,
+    checkpoint_every: int | None = None,
 ) -> MethodResult:
     """Replay ``max_events`` window events against one method.
 
@@ -150,51 +157,145 @@ def run_method(
     continuous methods consume one :class:`DeltaBatch` per batch window via
     ``update_batch`` (numerically equivalent to the per-event loop — see the
     equivalence test suite), and periodic baselines advance the window with
-    vectorized pure replay between period boundaries.  Checkpoints are then
-    recorded at batch/boundary granularity rather than on exact event counts,
-    and periodic baselines see the window *at* each boundary instead of just
-    after the first event at-or-past it — a deliberate (and arguably cleaner)
-    semantic difference; only the SNS variants carry the exact-equivalence
-    guarantee.
+    vectorized pure replay between period boundaries.  Fitness samples are
+    then recorded at batch/boundary granularity rather than on exact event
+    counts, and periodic baselines see the window *at* each boundary instead
+    of just after the first event at-or-past it — a deliberate (and arguably
+    cleaner) semantic difference; only the SNS variants carry the
+    exact-equivalence guarantee.
+
+    Checkpointing (continuous methods only — periodic baselines carry no
+    checkpointable state and are skipped): with ``checkpoint_dir`` set, the
+    full run state (window, scheduler, model, RNG stream, plus this
+    function's fitness bookkeeping) is saved under
+    ``<checkpoint_dir>/<method>`` every ``checkpoint_events`` events and at
+    the end of the run.  With ``resume=True`` an existing checkpoint there
+    is restored and the replay continues to ``max_events`` *total* events —
+    exactly, as if never interrupted (see :mod:`repro.stream.checkpoint`):
+    window, factors, and final fitness are what the uninterrupted run
+    produces, and on the per-event engine so is the whole fitness series.
+    (On the batched engine the series may gain an extra sample at the
+    interruption point, because sampling happens at batch granularity.)
+    Timing statistics cover only the events replayed by this call.
+
+    ``checkpoint_every`` is a deprecated alias of ``fitness_every`` (it
+    never controlled on-disk checkpoints, only the fitness cadence).
     """
-    kind = method_kind(method)
-    processor = ContinuousStreamProcessor(stream, window_config)
-    if kind == "continuous":
-        model = create_algorithm(
-            method,
-            SNSConfig(rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling),
+    if checkpoint_every is not None:
+        warnings.warn(
+            "run_method(checkpoint_every=...) is deprecated; use "
+            "fitness_every (the fitness-sampling cadence) — real on-disk "
+            "checkpoints are controlled by checkpoint_dir/checkpoint_events",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    else:
-        if baseline_config is None:
-            # The ALS baseline doubles as the relative-fitness reference, so
-            # give it a few sweeps per period; the other baselines use their
-            # published closed-form / single-pass updates.
-            n_iterations = 3 if method == "als" else 1
-            baseline_config = BaselineConfig(
-                rank=rank, n_iterations=n_iterations, seed=seed
+        fitness_every = checkpoint_every
+    kind = method_kind(method)
+    if checkpoint_events is not None and checkpoint_events <= 0:
+        raise ConfigurationError(
+            f"checkpoint_events must be positive, got {checkpoint_events}"
+        )
+    if checkpoint_dir is None and (checkpoint_events is not None or resume):
+        raise ConfigurationError(
+            "checkpoint_events/resume require checkpoint_dir — without it "
+            "no checkpoint is ever written or read"
+        )
+    checkpoint_path: Path | None = None
+    if checkpoint_dir is not None and kind == "continuous":
+        checkpoint_path = Path(checkpoint_dir) / method
+
+    checkpoint_times: list[float] = []
+    fitness_series: list[float] = []
+    n_events = 0
+    model = None
+    if checkpoint_path is not None and resume and is_checkpoint(checkpoint_path):
+        processor, model, saved = restore_run(checkpoint_path)
+        if model is None or model.name != method:
+            raise ConfigurationError(
+                f"checkpoint at {checkpoint_path} does not hold a "
+                f"{method!r} model"
             )
-        model = create_baseline(method, baseline_config)
-    model.initialize(processor.window, initial_factors)
+        # The restored model was rebuilt from its *saved* hyper-parameters;
+        # silently continuing under different requested ones would label the
+        # run with settings it never used.
+        requested = SNSConfig(
+            rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling
+        )
+        if dataclasses.asdict(requested) != dataclasses.asdict(model.config):
+            mismatched = sorted(
+                key
+                for key, value in dataclasses.asdict(requested).items()
+                if value != dataclasses.asdict(model.config)[key]
+            )
+            raise ConfigurationError(
+                f"checkpoint at {checkpoint_path} was taken with different "
+                f"hyper-parameters (differs in {mismatched}); rerun with the "
+                "original settings or start a fresh checkpoint directory"
+            )
+        saved = saved or {}
+        n_events = int(saved.get("n_events", 0))
+        checkpoint_times = [float(t) for t in saved.get("fitness_times", [])]
+        fitness_series = [float(f) for f in saved.get("fitness_values", [])]
+    else:
+        processor = ContinuousStreamProcessor(stream, window_config)
+    if model is None:
+        if kind == "continuous":
+            model = create_algorithm(
+                method,
+                SNSConfig(
+                    rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling
+                ),
+            )
+        else:
+            if baseline_config is None:
+                # The ALS baseline doubles as the relative-fitness reference,
+                # so give it a few sweeps per period; the other baselines use
+                # their published closed-form / single-pass updates.
+                n_iterations = 3 if method == "als" else 1
+                baseline_config = BaselineConfig(
+                    rank=rank, n_iterations=n_iterations, seed=seed
+                )
+            model = create_baseline(method, baseline_config)
+        model.initialize(processor.window, initial_factors)
+
+    def save_state() -> None:
+        processor.save_checkpoint(
+            checkpoint_path,
+            model=model,
+            extra={
+                "n_events": n_events,
+                "fitness_times": checkpoint_times,
+                "fitness_values": fitness_series,
+            },
+        )
+
+    next_save = None
+    if checkpoint_path is not None and checkpoint_events is not None:
+        next_save = (n_events // checkpoint_events + 1) * checkpoint_events
 
     period = window_config.period
     next_boundary = processor.start_time + period
     timer = UpdateTimer()
-    checkpoint_times: list[float] = []
-    fitness_series: list[float] = []
-    n_events = 0
+    resumed_events = n_events
+    remaining = max(max_events - n_events, 0)
     if batched and kind == "continuous":
-        next_checkpoint = checkpoint_every
-        for batch in processor.iter_batches(max_events=max_events):
+        next_fitness = (n_events // fitness_every + 1) * fitness_every
+        for batch in processor.iter_batches(max_events=remaining):
             timer.start()
             model.update_batch(batch)
             timer.stop()
             n_events += batch.n_events
-            if n_events >= next_checkpoint:
+            if n_events >= next_fitness:
                 checkpoint_times.append(batch.end_time)
                 fitness_series.append(model.fitness())
-                next_checkpoint = (
-                    n_events // checkpoint_every + 1
-                ) * checkpoint_every
+                next_fitness = (
+                    n_events // fitness_every + 1
+                ) * fitness_every
+            if next_save is not None and n_events >= next_save:
+                save_state()
+                next_save = (
+                    n_events // checkpoint_events + 1
+                ) * checkpoint_events
     elif batched:
         # Periodic baselines only read the window at period boundaries, so
         # the stream between boundaries is replayed with the pure batched
@@ -217,15 +318,20 @@ def run_method(
             if n_events >= max_events:
                 break
     else:
-        for event, delta in processor.events(max_events=max_events):
+        for event, delta in processor.events(max_events=remaining):
             n_events += 1
             if kind == "continuous":
                 timer.start()
                 model.update(delta)
                 timer.stop()
-                if n_events % checkpoint_every == 0:
+                if n_events % fitness_every == 0:
                     checkpoint_times.append(event.time)
                     fitness_series.append(model.fitness())
+                if next_save is not None and n_events >= next_save:
+                    save_state()
+                    next_save = (
+                        n_events // checkpoint_events + 1
+                    ) * checkpoint_events
             else:
                 # Baselines update (and are scored) only at period
                 # boundaries, matching the once-per-period dots of Fig. 4.
@@ -236,18 +342,28 @@ def run_method(
                     checkpoint_times.append(next_boundary)
                     fitness_series.append(model.fitness())
                     next_boundary += period
+    if checkpoint_path is not None:
+        # Final snapshot: a finished run can be resumed with a larger
+        # max_events, and an interrupted rerun with --resume picks up here.
+        save_state()
     final_fitness = model.fitness()
     if not fitness_series:
         checkpoint_times.append(processor.start_time)
         fitness_series.append(final_fitness)
-    if batched and kind == "continuous":
-        # The timer wrapped whole update_batch calls; report the paper's
-        # per-event unit (and per-event count) so "elapsed time per update"
-        # stays comparable with non-batched runs and with Fig. 5.
-        mean_update_microseconds = (
-            timer.total_seconds / n_events * 1e6 if n_events else 0.0
-        )
+    replayed = n_events - resumed_events
+    if kind == "continuous":
+        # n_updates is the lifetime counter (it matches n_events even after
+        # a resume, where the timer only saw this call's events) for both
+        # engines.  Per-update time is per *event*: the batched timer
+        # wrapped whole update_batch calls, so normalise by the events this
+        # call replayed to stay comparable with Fig. 5.
         n_updates = model.n_updates
+        if batched:
+            mean_update_microseconds = (
+                timer.total_seconds / replayed * 1e6 if replayed else 0.0
+            )
+        else:
+            mean_update_microseconds = timer.mean_microseconds
     else:
         mean_update_microseconds = timer.mean_microseconds
         n_updates = timer.n_updates
@@ -310,10 +426,13 @@ def run_experiment(
             theta=spec.theta if theta is None else theta,
             eta=spec.eta if eta is None else eta,
             max_events=settings.max_events,
-            checkpoint_every=settings.checkpoint_every,
+            fitness_every=settings.fitness_every,
             seed=settings.seed,
             batched=settings.batched,
             sampling=settings.sampling,
+            checkpoint_dir=settings.checkpoint_dir,
+            checkpoint_events=settings.checkpoint_events,
+            resume=settings.resume,
         )
     return ExperimentResult(
         dataset=settings.dataset,

@@ -60,7 +60,7 @@ def run_scalability(
                 theta=spec.theta,
                 eta=spec.eta,
                 max_events=int(count),
-                checkpoint_every=max(int(count), 1),  # single checkpoint at the end
+                fitness_every=max(int(count), 1),  # single fitness sample at the end
                 seed=settings.seed,
             )
             total_seconds[method].append(outcome.total_update_seconds)

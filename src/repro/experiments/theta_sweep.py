@@ -44,7 +44,7 @@ def run_theta_sweep(
         initial_factors=initial,
         rank=spec.rank,
         max_events=settings.max_events,
-        checkpoint_every=settings.checkpoint_every,
+        fitness_every=settings.fitness_every,
         seed=settings.seed,
     )
     rel: dict[str, list[float]] = {method: [] for method in methods}
@@ -60,7 +60,7 @@ def run_theta_sweep(
                 theta=theta,
                 eta=spec.eta,
                 max_events=settings.max_events,
-                checkpoint_every=settings.checkpoint_every,
+                fitness_every=settings.fitness_every,
                 seed=settings.seed,
             )
             rel[method].append(

@@ -20,6 +20,15 @@ from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.window import TensorWindow, WindowConfig
 from repro.stream.scheduler import EventScheduler
 from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.checkpoint import (
+    StreamCheckpoint,
+    is_checkpoint,
+    load_checkpoint,
+    restore_model,
+    restore_processor,
+    restore_run,
+    save_checkpoint,
+)
 
 __all__ = [
     "EventKind",
@@ -32,4 +41,11 @@ __all__ = [
     "WindowConfig",
     "EventScheduler",
     "ContinuousStreamProcessor",
+    "StreamCheckpoint",
+    "is_checkpoint",
+    "load_checkpoint",
+    "restore_model",
+    "restore_processor",
+    "restore_run",
+    "save_checkpoint",
 ]

@@ -45,6 +45,8 @@ from repro.stream.stream import MultiAspectStream
 from repro.stream.window import TensorWindow, WindowConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from pathlib import Path
+
     from repro.core.base import ContinuousCPD
 
 #: Relative slack used when assigning a timestamp to a tensor unit, guarding
@@ -117,7 +119,14 @@ class ContinuousStreamProcessor:
 
     @property
     def n_events_emitted(self) -> int:
-        """Number of events emitted so far."""
+        """Number of events emitted so far.
+
+        Counts exactly the events handed to consumers: everything drained by
+        :meth:`iter_batches`, and every pair yielded by :meth:`events` —
+        expiries suppressed with ``include_expiry=False`` update the window
+        but are neither yielded nor counted.  This is the counter persisted
+        by :meth:`save_checkpoint`.
+        """
         return self._n_events_emitted
 
     @property
@@ -129,6 +138,72 @@ class ContinuousStreamProcessor:
     def has_pending_events(self) -> bool:
         """True while any arrival, shift, or expiry is still due."""
         return bool(self._future_records) or len(self._scheduler) > 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self,
+        path: "str | Path",
+        model: "ContinuousCPD | None" = None,
+        extra: object | None = None,
+    ) -> "Path":
+        """Snapshot the full run state to ``path`` (a checkpoint directory).
+
+        Persists the window (COO arrays), the scheduler heap with its
+        sequence counter, the pending future records, the event counter, and
+        — when ``model`` is given — the model's :meth:`state_dict` including
+        its RNG stream.  Call it only *between* events / batches (never from
+        inside an ``events()`` / ``iter_batches()`` step); restoring then
+        continues the run exactly.  See :mod:`repro.stream.checkpoint` for
+        the format and guarantees.
+        """
+        from repro.stream.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self, model=model, extra=extra)
+
+    @classmethod
+    def from_checkpoint(cls, path: "str | Path") -> "ContinuousStreamProcessor":
+        """Rebuild a processor from a checkpoint directory.
+
+        Restores only the stream-processor state; use
+        :func:`repro.stream.checkpoint.restore_run` to also rebuild the model
+        saved alongside it.
+        """
+        from repro.stream.checkpoint import load_checkpoint, restore_processor
+
+        return restore_processor(load_checkpoint(path))
+
+    @classmethod
+    def _restore(
+        cls,
+        config: WindowConfig,
+        start_time: float,
+        window: TensorWindow,
+        scheduler: EventScheduler,
+        future_records: list[StreamRecord],
+        n_events_emitted: int,
+    ) -> "ContinuousStreamProcessor":
+        """Assemble a processor from restored state (no bootstrap replay).
+
+        ``future_records`` must be in the internal pop order (newest first;
+        arrivals are consumed from the end of the list).
+        """
+        processor = object.__new__(cls)
+        processor._stream = MultiAspectStream(
+            list(reversed(future_records)), mode_sizes=config.mode_sizes
+        )
+        processor._config = config
+        processor._start_time = float(start_time)
+        processor._window = window
+        processor._scheduler = scheduler
+        processor._n_events_emitted = int(n_events_emitted)
+        processor._future_records = list(future_records)
+        processor._kind_by_step = tuple(
+            WindowEvent.kind_for_step(step, config.window_length)
+            for step in range(config.window_length + 1)
+        )
+        return processor
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -229,9 +304,15 @@ class ContinuousStreamProcessor:
                     event.record,
                     next_step,
                 )
-            self._n_events_emitted += 1
             if include_expiry or event.kind is not EventKind.EXPIRY:
+                # One authoritative counter: the lifetime counter and the
+                # per-call ``emitted`` / ``max_events`` bookkeeping count the
+                # same events.  A suppressed expiry (include_expiry=False)
+                # still updates the window but is not emitted, so it is not
+                # counted — previously the lifetime counter drifted ahead of
+                # ``emitted`` by one per suppressed expiry.
                 emitted += 1
+                self._n_events_emitted += 1
                 yield event, delta
 
     def run(

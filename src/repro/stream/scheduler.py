@@ -18,7 +18,7 @@ entry.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.stream.events import EventKind, StreamRecord, WindowEvent
 
@@ -76,6 +76,31 @@ class EventScheduler:
                 f"sequence counter may only advance ({sequence} < {self._sequence})"
             )
         self._sequence = sequence
+
+    def snapshot(self) -> tuple[tuple[RawEvent, ...], int]:
+        """Return ``(heap entries, sequence counter)`` for checkpointing.
+
+        The entries are returned in raw heap-array order (NOT sorted): the
+        list *is* a valid binary heap, so restoring it verbatim via
+        :meth:`from_snapshot` reproduces the exact pop order — including
+        tie-breaking — of the original scheduler.
+        """
+        return tuple(self._heap), self._sequence
+
+    @classmethod
+    def from_snapshot(
+        cls, entries: Iterable[RawEvent], sequence: int
+    ) -> "EventScheduler":
+        """Rebuild a scheduler from :meth:`snapshot` output.
+
+        ``entries`` must be in the heap-array order produced by
+        :meth:`snapshot`; they are adopted verbatim (no re-heapify), which is
+        what makes the restored pop order bit-identical.
+        """
+        scheduler = cls()
+        scheduler._heap = list(entries)
+        scheduler._sequence = int(sequence)
+        return scheduler
 
     def peek_time(self) -> float | None:
         """Time of the earliest pending event, or None if empty."""

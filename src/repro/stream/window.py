@@ -238,3 +238,25 @@ class TensorWindow:
         clone._tensor = self._tensor.copy()
         clone._n_deltas_applied = self._n_deltas_applied
         return clone
+
+    @classmethod
+    def from_tensor(
+        cls,
+        config: WindowConfig,
+        tensor: SparseTensor,
+        n_deltas_applied: int = 0,
+    ) -> "TensorWindow":
+        """Adopt an existing tensor as the window state (checkpoint restore).
+
+        ``tensor`` is adopted by reference, not copied; its shape must equal
+        ``config.shape``.
+        """
+        if tensor.shape != config.shape:
+            raise ShapeError(
+                f"tensor shape {tensor.shape} does not match window shape "
+                f"{config.shape}"
+            )
+        window = cls(config)
+        window._tensor = tensor
+        window._n_deltas_applied = int(n_deltas_applied)
+        return window

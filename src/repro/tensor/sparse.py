@@ -70,8 +70,17 @@ class SparseTensor:
             raise ShapeError(f"all mode lengths must be positive, got {shape}")
         self._shape: tuple[int, ...] = shape
         self._data: dict[Coordinate, float] = {}
-        # _mode_index[m][i] is the set of coordinates whose m-th index is i.
-        self._mode_index: list[dict[int, set[Coordinate]]] = [
+        # _mode_index[m][i] holds the coordinates whose m-th index is i, as an
+        # insertion-ordered dict used as a set.  A dict's iteration order is a
+        # pure function of the key insert/remove sequence (unlike a set's,
+        # which also depends on the hash-table layout history), and every
+        # mutation touches _data and the buckets together — so each bucket's
+        # order is exactly the projection of the _data insertion order.  That
+        # makes slice enumeration reproducible from a serialized snapshot:
+        # rebuilding entries in `to_coo_arrays` order restores bucket
+        # iteration (and with it every slice-driven float reduction) exactly,
+        # which checkpoint restore relies on for bit-identical resume.
+        self._mode_index: list[dict[int, dict[Coordinate, None]]] = [
             {} for _ in range(len(shape))
         ]
         # ||X||_F^2, maintained incrementally by every mutation so norm() /
@@ -335,13 +344,13 @@ class SparseTensor:
 
     def _index_add(self, coordinate: Coordinate) -> None:
         for mode, index in enumerate(coordinate):
-            self._mode_index[mode].setdefault(index, set()).add(coordinate)
+            self._mode_index[mode].setdefault(index, {})[coordinate] = None
 
     def _index_remove(self, coordinate: Coordinate) -> None:
         for mode, index in enumerate(coordinate):
             bucket = self._mode_index[mode].get(index)
             if bucket is not None:
-                bucket.discard(coordinate)
+                bucket.pop(coordinate, None)
                 if not bucket:
                     del self._mode_index[mode][index]
 
@@ -370,7 +379,7 @@ class SparseTensor:
         """``(indices, values)`` arrays of the ``Omega(mode)_index`` slice.
 
         Array counterpart of :meth:`mode_slice` — same entries in the same
-        (set-iteration) order, built without the per-entry generator hop.
+        (bucket-insertion) order, built without the per-entry generator hop.
         ``indices`` has shape ``(deg, order)`` and ``values`` ``(deg,)``.
         """
         self._check_mode(mode)
@@ -462,13 +471,84 @@ class SparseTensor:
         return tensor
 
     def copy(self) -> "SparseTensor":
-        """Return a deep copy."""
+        """Return a deep copy.
+
+        The mutation :attr:`version` (and with it the COO-array cache) is
+        carried forward: a caller holding a ``(tensor, version)`` pair from
+        the original can never false-match the clone at a *different* content
+        state, because the clone's counter continues from the original's
+        instead of restarting at 0 and re-walking already-used version
+        numbers.
+        """
         clone = SparseTensor(self._shape)
         for coordinate, value in self._data.items():
             clone._data[coordinate] = value
             clone._index_add(coordinate)
         clone._squared_norm = self._squared_norm
+        clone._version = self._version
+        # The cached arrays are read-only by contract, so sharing them with
+        # the clone is safe; either tensor's next mutation re-stamps its own.
+        clone._coo_cache = self._coo_cache
         return clone
+
+    @classmethod
+    def from_coo(
+        cls,
+        shape: Iterable[int],
+        indices: np.ndarray,
+        values: np.ndarray,
+        version: int = 0,
+    ) -> "SparseTensor":
+        """Rebuild a tensor from COO arrays (inverse of :meth:`to_coo_arrays`).
+
+        Entries are inserted in array order, so the dict insertion order — and
+        therefore the ordering of a later :meth:`to_coo_arrays` — matches the
+        array ordering exactly.  ``version`` seeds the mutation counter
+        (checkpoint restore carries the saved tensor's counter forward).  The
+        squared norm is recomputed exactly from the entries via
+        :meth:`recompute_squared_norm`, not trusted from any incremental
+        value.
+        """
+        tensor = cls(shape)
+        index_array = np.asarray(indices, dtype=np.int64)
+        value_array = np.asarray(values, dtype=np.float64)
+        if index_array.ndim != 2 or index_array.shape[1] != tensor.order:
+            raise ShapeError(
+                f"coordinate array of shape {index_array.shape} does not "
+                f"match an order-{tensor.order} tensor"
+            )
+        if index_array.shape[0] != value_array.shape[0]:
+            raise ShapeError(
+                f"{index_array.shape[0]} coordinates for "
+                f"{value_array.shape[0]} values"
+            )
+        if index_array.shape[0]:
+            tensor._check_bounds_array(index_array)
+            data = tensor._data
+            for row, value in zip(index_array.tolist(), value_array.tolist()):
+                coordinate = tuple(row)
+                if coordinate in data:
+                    raise ShapeError(
+                        f"duplicate coordinate {coordinate} in COO input"
+                    )
+                data[coordinate] = value
+                tensor._index_add(coordinate)
+        tensor._version = int(version)
+        tensor.recompute_squared_norm()
+        return tensor
+
+    def recompute_squared_norm(self) -> float:
+        """Rescan all entries and reset the incremental squared norm exactly.
+
+        Returns the drift ``old - new`` between the incrementally maintained
+        value and the exact compensated sum, so callers (checkpoint restore,
+        the churn regression tests) can observe how far the running value had
+        wandered.  After this call :meth:`squared_norm` is exact.
+        """
+        exact = math.fsum(value * value for value in self._data.values())
+        drift = self._squared_norm - exact
+        self._squared_norm = exact
+        return drift
 
     def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(indices, values)`` arrays in COO layout.

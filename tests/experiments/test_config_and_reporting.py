@@ -19,8 +19,17 @@ class TestExperimentSettings:
     def test_defaults(self):
         settings = ExperimentSettings()
         assert settings.dataset == "nyc_taxi"
-        assert settings.checkpoint_every >= 1
+        assert settings.fitness_every >= 1
         assert settings.spec.rank == 20
+        assert settings.checkpoint_dir is None
+        assert settings.checkpoint_events is None
+        assert settings.resume is False
+
+    def test_checkpoint_every_is_a_deprecated_alias_of_fitness_every(self):
+        settings = ExperimentSettings()
+        with pytest.warns(DeprecationWarning, match="fitness_every"):
+            aliased = settings.checkpoint_every
+        assert aliased == settings.fitness_every
 
     def test_default_settings_overrides(self):
         settings = default_settings("chicago_crime", max_events=100)
@@ -35,6 +44,9 @@ class TestExperimentSettings:
             {"max_events": 0},
             {"n_checkpoints": 0},
             {"als_iterations": 0},
+            {"checkpoint_events": 0, "checkpoint_dir": "/tmp/x"},
+            {"checkpoint_events": 100},  # requires checkpoint_dir
+            {"resume": True},  # requires checkpoint_dir
         ],
     )
     def test_invalid_settings_rejected(self, kwargs):

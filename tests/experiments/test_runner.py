@@ -119,6 +119,133 @@ class TestRunMethod:
         assert len(result.fitness_series) == 1  # falls back to final fitness
 
 
+class TestFitnessEveryRename:
+    def test_checkpoint_every_alias_warns_and_applies(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        with pytest.warns(DeprecationWarning, match="fitness_every"):
+            aliased = run_method(
+                stream, window_config, "sns_vec",
+                initial_factors=initial, rank=5,
+                max_events=200, checkpoint_every=50,
+            )
+        renamed = run_method(
+            stream, window_config, "sns_vec",
+            initial_factors=initial, rank=5,
+            max_events=200, fitness_every=50,
+        )
+        assert aliased.fitness_series == renamed.fitness_series
+        assert aliased.checkpoint_times == renamed.checkpoint_times
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("batched", [False, True], ids=["per_event", "batched"])
+    def test_resume_reproduces_uninterrupted_run(
+        self, runner_setup, tmp_path, batched
+    ):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(
+            initial_factors=initial, rank=5, theta=5,
+            max_events=300, fitness_every=100, batched=batched,
+        )
+        reference = run_method(stream, window_config, "sns_rnd_plus", **kwargs)
+        interrupted = dict(kwargs, max_events=150, checkpoint_dir=tmp_path)
+        run_method(stream, window_config, "sns_rnd_plus", **interrupted)
+        assert (tmp_path / "sns_rnd_plus").is_dir()
+        resumed = run_method(
+            stream, window_config, "sns_rnd_plus",
+            checkpoint_dir=tmp_path, resume=True, **kwargs,
+        )
+        assert resumed.n_events == reference.n_events == 300
+        assert resumed.final_fitness == reference.final_fitness
+        if not batched:
+            # Per-event fitness sampling is on exact event counts, so the
+            # whole series matches; the batched engine may add one sample at
+            # the interruption point (batch-granularity sampling).
+            assert resumed.fitness_series == reference.fitness_series
+            assert resumed.checkpoint_times == reference.checkpoint_times
+        else:
+            assert resumed.fitness_series[-1] == reference.fitness_series[-1]
+
+    def test_completed_run_resumes_to_larger_horizon(self, runner_setup, tmp_path):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(initial_factors=initial, rank=5, fitness_every=100)
+        reference = run_method(
+            stream, window_config, "sns_vec_plus", max_events=300, **kwargs
+        )
+        run_method(
+            stream, window_config, "sns_vec_plus", max_events=150,
+            checkpoint_dir=tmp_path, checkpoint_events=60, **kwargs
+        )
+        extended = run_method(
+            stream, window_config, "sns_vec_plus", max_events=300,
+            checkpoint_dir=tmp_path, resume=True, **kwargs
+        )
+        assert extended.n_events == 300
+        assert extended.final_fitness == reference.final_fitness
+
+    def test_resume_past_horizon_replays_nothing(self, runner_setup, tmp_path):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(initial_factors=initial, rank=5, fitness_every=100)
+        done = run_method(
+            stream, window_config, "sns_vec", max_events=200,
+            checkpoint_dir=tmp_path, **kwargs
+        )
+        again = run_method(
+            stream, window_config, "sns_vec", max_events=200,
+            checkpoint_dir=tmp_path, resume=True, **kwargs
+        )
+        assert again.n_events == 200
+        assert again.final_fitness == done.final_fitness
+        assert again.total_update_seconds == 0.0  # nothing left to replay
+
+    def test_resume_with_different_hyper_parameters_is_rejected(
+        self, runner_setup, tmp_path
+    ):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(initial_factors=initial, rank=5, fitness_every=100)
+        run_method(
+            stream, window_config, "sns_rnd_plus", max_events=100, theta=5,
+            checkpoint_dir=tmp_path, **kwargs
+        )
+        with pytest.raises(ConfigurationError, match="theta"):
+            run_method(
+                stream, window_config, "sns_rnd_plus", max_events=200, theta=9,
+                checkpoint_dir=tmp_path, resume=True, **kwargs
+            )
+
+    def test_checkpoint_knobs_without_dir_are_rejected(self, runner_setup):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=50, fitness_every=100
+        )
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            run_method(
+                stream, window_config, "sns_vec", checkpoint_events=10, **kwargs
+            )
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            run_method(stream, window_config, "sns_vec", resume=True, **kwargs)
+
+    def test_nonpositive_checkpoint_events_rejected(self, runner_setup, tmp_path):
+        stream, window_config, initial, _ = runner_setup
+        with pytest.raises(ConfigurationError, match="positive"):
+            run_method(
+                stream, window_config, "sns_vec",
+                initial_factors=initial, rank=5, max_events=50,
+                checkpoint_dir=tmp_path, checkpoint_events=0,
+            )
+
+    def test_periodic_methods_skip_checkpointing(self, runner_setup, tmp_path):
+        stream, window_config, initial, _ = runner_setup
+        result = run_method(
+            stream, window_config, "als",
+            initial_factors=initial, rank=5,
+            max_events=200, fitness_every=100,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert result.kind == "periodic"
+        assert not (tmp_path / "als").exists()
+
+
 class TestExperimentResult:
     @pytest.fixture(scope="class")
     def experiment(self, runner_setup):

@@ -254,6 +254,61 @@ class TestIncrementalSquaredNorm:
         tensor = SparseTensor((2, 2), entries={(0, 0): 3.0, (1, 1): 4.0})
         assert tensor.copy().squared_norm() == tensor.squared_norm()
 
+    def test_recompute_squared_norm_resets_to_exact(self, rng):
+        tensor = SparseTensor((5, 5))
+        for _ in range(500):
+            coordinate = (int(rng.integers(0, 5)), int(rng.integers(0, 5)))
+            tensor.add(coordinate, float(rng.normal(scale=100.0)))
+        drift = tensor.recompute_squared_norm()
+        # The reported drift is whatever the incremental value had wandered;
+        # after the call the stored value is the exact compensated sum.
+        assert abs(drift) <= 1e-6 * max(tensor.squared_norm(), 1.0)
+        assert tensor.squared_norm() == math.fsum(
+            value * value for _, value in tensor.items()
+        )
+        # Recomputing an already-exact value is a no-op.
+        assert tensor.recompute_squared_norm() == 0.0
+
+    def test_long_churn_drift_is_bounded_against_rescan(self, rng):
+        """Long-churn property: incremental drift stays within an ulp budget.
+
+        Simulates window-like traffic (paired add/subtract of the same float
+        through shifting coordinates) for many thousands of mutations and
+        bounds the incremental accumulator's drift against a full rescan —
+        the guarantee checkpoint restore relies on being allowed to *reset*:
+        drift is round-off-sized, never structural.
+        """
+        tensor = SparseTensor((7, 6, 5))
+        live: list[tuple[tuple[int, int, int], float]] = []
+        worst_relative_drift = 0.0
+        for step in range(12_000):
+            if live and step % 3 == 2:
+                # Retire an old entry exactly (window shift/expiry pattern).
+                coordinate, value = live.pop(int(rng.integers(0, len(live))))
+                tensor.add(coordinate, -value)
+            else:
+                coordinate = (
+                    int(rng.integers(0, 7)),
+                    int(rng.integers(0, 6)),
+                    int(rng.integers(0, 5)),
+                )
+                value = float(rng.exponential(scale=50.0)) + 1e-3
+                tensor.add(coordinate, value)
+                live.append((coordinate, value))
+            if step % 1000 == 999:
+                exact = math.fsum(value * value for _, value in tensor.items())
+                drift = abs(tensor.squared_norm() - exact)
+                worst_relative_drift = max(
+                    worst_relative_drift, drift / max(exact, 1.0)
+                )
+        # Round-off-level, far below any fitness-affecting magnitude.
+        assert worst_relative_drift < 1e-11
+        # And a restore-style reset leaves the exact value behind.
+        tensor.recompute_squared_norm()
+        assert tensor.squared_norm() == math.fsum(
+            value * value for _, value in tensor.items()
+        )
+
 
 class TestCooCache:
     def test_unmutated_tensor_returns_cached_arrays(self):
@@ -299,6 +354,91 @@ class TestCooCache:
         indices, values = tensor.to_coo_arrays()
         assert indices.shape == (1, 2)
         assert values.tolist() == [4.0]
+
+    def test_copy_carries_version_forward(self):
+        """Regression: ``copy()`` used to reset the clone's version to 0.
+
+        A caller holding a ``(tensor, version)`` pair from the original
+        could then false-match the clone's COO cache once the clone re-used
+        the same version numbers at *different* content.  The clone's
+        counter must continue from the original's.
+        """
+        tensor = SparseTensor((3, 3))
+        tensor.set((0, 0), 1.0)
+        tensor.set((1, 1), 2.0)
+        observed_version = tensor.version
+        clone = tensor.copy()
+        assert clone.version == observed_version
+        # A mutation on the clone can never land back on an already-observed
+        # version number.
+        clone.set((2, 2), 3.0)
+        assert clone.version > observed_version
+
+    def test_copy_shares_valid_coo_cache(self):
+        tensor = SparseTensor((3, 3), entries={(0, 1): 2.0, (2, 2): -1.0})
+        indices, values = tensor.to_coo_arrays()
+        clone = tensor.copy()
+        # Same version, same content: the clone may serve the cached arrays.
+        clone_indices, clone_values = clone.to_coo_arrays()
+        assert clone_indices is indices and clone_values is values
+        clone.add((1, 1), 4.0)
+        fresh_indices, _ = clone.to_coo_arrays()
+        assert fresh_indices is not indices
+        # The original is unaffected by the clone's mutation.
+        assert tensor.to_coo_arrays()[0] is indices
+
+
+class TestFromCoo:
+    def test_round_trip_preserves_storage_order(self, small_tensor):
+        indices, values = small_tensor.to_coo_arrays()
+        rebuilt = SparseTensor.from_coo(
+            small_tensor.shape, indices, values, version=small_tensor.version
+        )
+        assert rebuilt.version == small_tensor.version
+        assert list(rebuilt.items()) == list(small_tensor.items())
+        rebuilt_indices, rebuilt_values = rebuilt.to_coo_arrays()
+        assert rebuilt_indices.tolist() == indices.tolist()
+        assert rebuilt_values.tolist() == values.tolist()
+        # Slice enumeration order is reproduced exactly, not just as a set.
+        for mode in range(small_tensor.order):
+            for index in small_tensor.mode_indices(mode):
+                assert list(rebuilt.mode_slice(mode, index)) == list(
+                    small_tensor.mode_slice(mode, index)
+                )
+
+    def test_squared_norm_is_recomputed_exactly(self, small_tensor):
+        indices, values = small_tensor.to_coo_arrays()
+        rebuilt = SparseTensor.from_coo(small_tensor.shape, indices, values)
+        assert rebuilt.squared_norm() == math.fsum(
+            value * value for _, value in small_tensor.items()
+        )
+
+    def test_empty_round_trip(self):
+        tensor = SparseTensor((2, 3))
+        rebuilt = SparseTensor.from_coo(
+            tensor.shape, *tensor.to_coo_arrays(), version=7
+        )
+        assert rebuilt.nnz == 0
+        assert rebuilt.version == 7
+        assert rebuilt.squared_norm() == 0.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ShapeError):
+            SparseTensor.from_coo((2, 2), np.zeros((1, 3), dtype=np.int64), [1.0])
+        with pytest.raises(ShapeError):
+            SparseTensor.from_coo(
+                (2, 2), np.zeros((2, 2), dtype=np.int64), [1.0]
+            )
+        with pytest.raises(ShapeError, match="duplicate"):
+            SparseTensor.from_coo(
+                (2, 2),
+                np.array([[0, 0], [0, 0]], dtype=np.int64),
+                [1.0, 2.0],
+            )
+        with pytest.raises(IndexOutOfBoundsError):
+            SparseTensor.from_coo(
+                (2, 2), np.array([[0, 5]], dtype=np.int64), [1.0]
+            )
 
 
 class TestConversions:
