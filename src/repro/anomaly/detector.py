@@ -24,6 +24,11 @@ class AnomalyScore:
     error: float
     event_time: float
     detection_time: float
+    #: True for warm-up placeholders emitted before the error statistics
+    #: existed; their ``z_score`` of 0.0 carries no evidence.  Recorded
+    #: explicitly so a genuine post-warm-up score of exactly 0.0 (an error
+    #: equal to the running mean) is not mistaken for a placeholder.
+    is_warmup: bool = False
 
     @property
     def detection_delay(self) -> float:
@@ -89,10 +94,8 @@ class ZScoreDetector:
         observation is added, so a huge anomaly does not dilute its own score.
         """
         error = abs(float(error))
-        if self._count >= self._warmup and self.std > 0.0:
-            z_score = (error - self._mean) / self.std
-        else:
-            z_score = 0.0
+        is_warmup = not (self._count >= self._warmup and self.std > 0.0)
+        z_score = 0.0 if is_warmup else (error - self._mean) / self.std
         score = AnomalyScore(
             coordinate=tuple(int(i) for i in coordinate),
             z_score=z_score,
@@ -101,6 +104,7 @@ class ZScoreDetector:
             detection_time=float(
                 event_time if detection_time is None else detection_time
             ),
+            is_warmup=is_warmup,
         )
         self._scores.append(score)
         self._update_statistics(error)
@@ -116,20 +120,32 @@ class ZScoreDetector:
     # Evaluation
     # ------------------------------------------------------------------
     def top_k(self, k: int) -> list[AnomalyScore]:
-        """The ``k`` highest-scoring observations (ties broken by error size)."""
-        return sorted(
-            self._scores, key=lambda s: (s.z_score, s.error), reverse=True
-        )[: int(k)]
+        """The ``k`` highest-scoring observations (ties broken by error size).
+
+        Warm-up placeholders (emitted before the error statistics exist) are
+        excluded: they carry no evidence and must not occupy scoreboard slots
+        on short runs.  A genuine post-warm-up score of 0.0 stays eligible.
+        """
+        scored = [s for s in self._scores if not s.is_warmup]
+        return sorted(scored, key=lambda s: (s.z_score, s.error), reverse=True)[
+            : int(k)
+        ]
 
     def precision_at_k(
         self, k: int, true_coordinates: set[Coordinate]
     ) -> float:
-        """Fraction of the top-``k`` scores whose coordinate is a true anomaly."""
-        top = self.top_k(k)
-        if not top:
+        """Fraction of the top-``k`` scoreboard whose coordinate is a true anomaly.
+
+        The denominator is ``k`` itself, not the number of scores available:
+        with fewer than ``k`` scored observations the missing slots count as
+        misses, so short runs cannot silently inflate the metric.
+        """
+        k = int(k)
+        if k <= 0:
             return 0.0
+        top = self.top_k(k)
         hits = sum(1 for score in top if score.coordinate in true_coordinates)
-        return hits / len(top)
+        return hits / k
 
     def mean_detection_delay(
         self, k: int, true_coordinates: set[Coordinate]

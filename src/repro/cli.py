@@ -84,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "replay events through the batched engine (run_batched / "
             "update_batch): higher throughput, results equivalent for the "
-            "SliceNStitch variants (periodic baselines update at exact "
-            "period boundaries instead of on the first event past them)"
+            "SliceNStitch variants and for the periodic baselines (both "
+            "engines update baselines at exact period boundaries)"
         ),
     )
     parser.add_argument(
@@ -130,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
             "uninterrupted run would have produced"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the experiment fan-out: prepare once, "
+            "snapshot the prepared state, and replay independent "
+            "method/sweep-point tasks in parallel (results identical to a "
+            "sequential run; a killed worker's task resumes from its "
+            "crash-recovery checkpoint).  1 (default) runs sequentially "
+            "in-process"
+        ),
+    )
     return parser
 
 
@@ -145,6 +159,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_events=args.checkpoint_events,
         resume=args.resume,
+        n_workers=args.workers,
     )
 
 
@@ -166,6 +181,7 @@ def run(argv: Sequence[str] | None = None) -> str:
             "checkpoint_dir": args.checkpoint_dir,
             "checkpoint_events": args.checkpoint_events,
             "resume": args.resume,
+            "n_workers": args.workers,
         }
         return format_speed_fitness(run_speed_fitness(settings_overrides=overrides))
     if args.experiment == "fig6":

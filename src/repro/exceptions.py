@@ -42,3 +42,11 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class DataGenerationError(ReproError, ValueError):
     """A synthetic data generator was asked for an impossible configuration."""
+
+
+class TimerError(ReproError, RuntimeError):
+    """A timing helper was driven through an invalid start/stop sequence."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A parallel experiment worker failed beyond the configured retry budget."""

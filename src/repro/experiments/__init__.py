@@ -23,6 +23,12 @@ Module                     Paper content
 """
 
 from repro.experiments.config import ExperimentSettings, default_settings
+from repro.experiments.parallel import (
+    ExperimentTask,
+    method_task,
+    run_tasks,
+    run_tasks_over_snapshot,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     MethodResult,
@@ -34,7 +40,11 @@ __all__ = [
     "ExperimentSettings",
     "default_settings",
     "ExperimentResult",
+    "ExperimentTask",
     "MethodResult",
+    "method_task",
     "run_experiment",
     "run_method",
+    "run_tasks",
+    "run_tasks_over_snapshot",
 ]

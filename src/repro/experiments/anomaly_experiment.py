@@ -242,7 +242,7 @@ def _evaluate(
 ) -> tuple[float, float]:
     """Precision at top-k and mean detection delay over matched anomalies."""
     top = detector.top_k(top_k)
-    if not top:
+    if top_k <= 0 or not top:
         return 0.0, float("nan")
     hits = 0
     delays: list[float] = []
@@ -262,6 +262,9 @@ def _evaluate(
                 matched.add(position)
                 delays.append(max(score.detection_time - anomaly.time, 0.0))
                 break
-    precision = hits / len(top)
+    # Divide by k itself (like ZScoreDetector.precision_at_k): when the
+    # scoreboard holds fewer than k real scores, the empty slots count as
+    # misses instead of silently inflating the metric.
+    precision = hits / top_k
     delay = float(np.mean(delays)) if delays else float("nan")
     return precision, delay

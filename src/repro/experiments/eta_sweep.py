@@ -12,7 +12,7 @@ from collections.abc import Sequence
 
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import prepare_experiment, run_method
+from repro.experiments.runner import prepare_experiment
 from repro.metrics.fitness import relative_fitness
 
 
@@ -30,33 +30,49 @@ def run_eta_sweep(
     methods: Sequence[str] = ("sns_vec_plus", "sns_rnd_plus"),
     etas: Sequence[float] = (32.0, 100.0, 320.0, 1000.0, 3200.0, 16000.0),
 ) -> EtaSweepResult:
-    """Run the Fig. 8 sweep on one dataset."""
+    """Run the Fig. 8 sweep on one dataset.
+
+    Every (method, η) replay — and the shared ALS reference — is an
+    independent task over one prepared snapshot; ``settings.n_workers > 1``
+    fans them out over worker processes with identical results.
+    """
+    from repro.experiments.parallel import (
+        method_result_from_payload,
+        method_task,
+        run_tasks_over_snapshot,
+    )
+
     settings = settings or ExperimentSettings()
     stream, spec, window_config, initial, _ = prepare_experiment(settings)
-    reference = run_method(
-        stream,
-        window_config,
-        "als",
-        initial_factors=initial,
+    shared = dict(
         rank=spec.rank,
         max_events=settings.max_events,
         fitness_every=settings.fitness_every,
         seed=settings.seed,
+        batched=settings.batched,
+        sampling=settings.sampling,
     )
+    tasks = [method_task("als", "als", **shared)]
+    for eta in etas:
+        for method in methods:
+            tasks.append(
+                method_task(
+                    f"{method}@eta={float(eta):g}",
+                    method,
+                    theta=spec.theta,
+                    eta=float(eta),
+                    **shared,
+                )
+            )
+    payloads = run_tasks_over_snapshot(
+        stream, window_config, initial, tasks, n_workers=settings.n_workers
+    )
+    reference = method_result_from_payload(payloads["als"])
     rel: dict[str, list[float]] = {method: [] for method in methods}
     for eta in etas:
         for method in methods:
-            outcome = run_method(
-                stream,
-                window_config,
-                method,
-                initial_factors=initial,
-                rank=spec.rank,
-                theta=spec.theta,
-                eta=float(eta),
-                max_events=settings.max_events,
-                fitness_every=settings.fitness_every,
-                seed=settings.seed,
+            outcome = method_result_from_payload(
+                payloads[f"{method}@eta={float(eta):g}"]
             )
             rel[method].append(
                 relative_fitness(outcome.average_fitness, reference.average_fitness)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.als.als import decompose
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import prepare_experiment, run_method
+from repro.experiments.runner import prepare_experiment
 from repro.metrics.timing import Stopwatch
 from repro.stream.processor import ContinuousStreamProcessor
 from repro.stream.stream import MultiAspectStream
@@ -66,60 +66,114 @@ class GranularityResult:
         return next(p for p in self.points if p.family == "continuous")
 
 
+def conventional_point(
+    stream: MultiAspectStream,
+    coarse_config: WindowConfig,
+    divisor: int,
+    rank: int,
+    als_iterations: int = 10,
+    seed: int | None = 0,
+    coarse_window: SparseTensor | None = None,
+) -> GranularityPoint:
+    """One conventional-CPD point: batch ALS at granularity ``T / divisor``.
+
+    Self-contained (the coarse scoring window is rebuilt from the stream when
+    not supplied), so it can run in a fan-out worker against a rehydrated
+    experiment snapshot.
+    """
+    divisor = int(divisor)
+    fine_period = coarse_config.period / divisor
+    fine_length = coarse_config.window_length * divisor
+    fine_config = WindowConfig(
+        mode_sizes=coarse_config.mode_sizes,
+        window_length=fine_length,
+        period=fine_period,
+    )
+    fine_window = _initial_window(stream, fine_config)
+    with Stopwatch() as watch:
+        result = decompose(
+            fine_window, rank=rank, n_iterations=als_iterations, seed=seed
+        )
+    merged = _merge_time_rows(result.decomposition, divisor)
+    if coarse_window is None:
+        coarse_window = _initial_window(stream, coarse_config)
+    return GranularityPoint(
+        family="conventional",
+        update_interval=fine_period,
+        fitness=merged.fitness(coarse_window),
+        n_parameters=result.decomposition.n_parameters,
+        update_microseconds=1e6 * watch.elapsed,
+    )
+
+
 def run_granularity(
     settings: ExperimentSettings | None = None,
     divisors: Sequence[int] = (60, 20, 10, 4, 2, 1),
     als_iterations: int = 10,
     continuous_method: str = "sns_rnd",
 ) -> GranularityResult:
-    """Run the Fig. 1 experiment (defaults to the NY-Taxi-like dataset)."""
+    """Run the Fig. 1 experiment (defaults to the NY-Taxi-like dataset).
+
+    ``settings.n_workers > 1`` fans the conventional divisor points and the
+    continuous replay out over worker processes sharing one prepared
+    snapshot; the points are identical to a sequential run.
+    """
+    from repro.experiments.parallel import (
+        ExperimentTask,
+        method_result_from_payload,
+        method_task,
+        run_tasks_over_snapshot,
+    )
+
     settings = settings or ExperimentSettings(dataset="nyc_taxi")
     stream, spec, coarse_config, initial, _ = prepare_experiment(settings)
     rank = spec.rank
-    points: list[GranularityPoint] = []
 
-    # Conventional CPD at every fine granularity T' = T / divisor.
-    coarse_window = _initial_window(stream, coarse_config)
-    for divisor in divisors:
-        fine_period = coarse_config.period / divisor
-        fine_length = coarse_config.window_length * divisor
-        fine_config = WindowConfig(
-            mode_sizes=coarse_config.mode_sizes,
-            window_length=fine_length,
-            period=fine_period,
+    # Conventional CPD at every fine granularity T' = T / divisor, plus the
+    # continuous CPD replay at the coarse period (updated on every event).
+    tasks = [
+        ExperimentTask(
+            key=f"conventional@divisor={int(divisor)}",
+            kind="conventional_cpd",
+            params={
+                "divisor": int(divisor),
+                "rank": rank,
+                "als_iterations": als_iterations,
+                "seed": settings.seed,
+            },
         )
-        fine_window = _initial_window(stream, fine_config)
-        with Stopwatch() as watch:
-            result = decompose(
-                fine_window,
-                rank=rank,
-                n_iterations=als_iterations,
-                seed=settings.seed,
-            )
-        merged = _merge_time_rows(result.decomposition, divisor)
+        for divisor in divisors
+    ]
+    tasks.append(
+        method_task(
+            "continuous",
+            continuous_method,
+            rank=rank,
+            theta=spec.theta,
+            eta=spec.eta,
+            max_events=settings.max_events,
+            fitness_every=settings.fitness_every,
+            seed=settings.seed,
+            batched=settings.batched,
+            sampling=settings.sampling,
+        )
+    )
+    payloads = run_tasks_over_snapshot(
+        stream, coarse_config, initial, tasks, n_workers=settings.n_workers
+    )
+
+    points: list[GranularityPoint] = []
+    for divisor in divisors:
+        payload = payloads[f"conventional@divisor={int(divisor)}"]
         points.append(
             GranularityPoint(
-                family="conventional",
-                update_interval=fine_period,
-                fitness=merged.fitness(coarse_window),
-                n_parameters=result.decomposition.n_parameters,
-                update_microseconds=1e6 * watch.elapsed,
+                **{
+                    field.name: payload[field.name]
+                    for field in dataclasses.fields(GranularityPoint)
+                }
             )
         )
-
-    # Continuous CPD at the coarse period (updated on every event).
-    outcome = run_method(
-        stream,
-        coarse_config,
-        continuous_method,
-        initial_factors=initial,
-        rank=rank,
-        theta=spec.theta,
-        eta=spec.eta,
-        max_events=settings.max_events,
-        fitness_every=settings.fitness_every,
-        seed=settings.seed,
-    )
+    outcome = method_result_from_payload(payloads["continuous"])
     points.append(
         GranularityPoint(
             family="continuous",

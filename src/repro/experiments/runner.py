@@ -153,16 +153,24 @@ def run_method(
     period update, matching how the paper reports "elapsed time per update"
     for each family.
 
+    Periodic baselines are scored with the same semantics on both engines:
+    every period boundary with stream activity at or before it gets one
+    ``update_period`` over the window exactly *at* that boundary (every event
+    up to and including the boundary applied, none after it), and boundaries
+    keep being scored until the stream is exhausted — including a boundary
+    the stream ends exactly on.  (The per-event loop historically updated
+    baselines only after the first event at-or-past each boundary, so it
+    never scored trailing boundaries when the stream ran out first; both
+    engines now share the boundary-exact semantics.)
+
     With ``batched=True`` the stream is replayed through the batched engine:
     continuous methods consume one :class:`DeltaBatch` per batch window via
     ``update_batch`` (numerically equivalent to the per-event loop — see the
-    equivalence test suite), and periodic baselines advance the window with
-    vectorized pure replay between period boundaries.  Fitness samples are
-    then recorded at batch/boundary granularity rather than on exact event
-    counts, and periodic baselines see the window *at* each boundary instead
-    of just after the first event at-or-past it — a deliberate (and arguably
-    cleaner) semantic difference; only the SNS variants carry the
-    exact-equivalence guarantee.
+    equivalence test suite), and their fitness samples are recorded at batch
+    granularity rather than on exact event counts; periodic baselines advance
+    the window with vectorized pure replay between boundaries and score the
+    same boundaries over the same window values as the per-event engine
+    (equivalent to float precision).
 
     Checkpointing (continuous methods only — periodic baselines carry no
     checkpointable state and are skipped): with ``checkpoint_dir`` set, the
@@ -176,7 +184,10 @@ def run_method(
     produces, and on the per-event engine so is the whole fitness series.
     (On the batched engine the series may gain an extra sample at the
     interruption point, because sampling happens at batch granularity.)
-    Timing statistics cover only the events replayed by this call.
+    Timing statistics are cumulative across resumes: the checkpoint carries
+    the lifetime ``total_update_seconds`` / update count, so
+    ``mean_update_microseconds`` reflects the whole run, not just the events
+    replayed after the restore.
 
     ``checkpoint_every`` is a deprecated alias of ``fitness_every`` (it
     never controlled on-disk checkpoints, only the fitness cadence).
@@ -236,8 +247,17 @@ def run_method(
         n_events = int(saved.get("n_events", 0))
         checkpoint_times = [float(t) for t in saved.get("fitness_times", [])]
         fitness_series = [float(f) for f in saved.get("fitness_values", [])]
+        # Lifetime timing carried across resumes.  Pre-fix checkpoints lack
+        # the keys; those runs fall back to per-call timing (numerator AND
+        # denominator cover only the events replayed after the restore).
+        timer_is_lifetime = "timer_total_seconds" in saved
+        resumed_update_seconds = float(saved.get("timer_total_seconds", 0.0))
+        resumed_update_count = int(saved.get("timer_n_updates", 0))
     else:
         processor = ContinuousStreamProcessor(stream, window_config)
+        timer_is_lifetime = True
+        resumed_update_seconds = 0.0
+        resumed_update_count = 0
     if model is None:
         if kind == "continuous":
             model = create_algorithm(
@@ -266,6 +286,10 @@ def run_method(
                 "n_events": n_events,
                 "fitness_times": checkpoint_times,
                 "fitness_values": fitness_series,
+                # Lifetime totals (the timer was seeded with the restored
+                # values), so a chain of resumes keeps exact bookkeeping.
+                "timer_total_seconds": timer.total_seconds,
+                "timer_n_updates": timer.n_updates,
             },
         )
 
@@ -276,6 +300,7 @@ def run_method(
     period = window_config.period
     next_boundary = processor.start_time + period
     timer = UpdateTimer()
+    timer.restore(resumed_update_seconds, resumed_update_count)
     resumed_events = n_events
     remaining = max(max_events - n_events, 0)
     if batched and kind == "continuous":
@@ -296,18 +321,46 @@ def run_method(
                 next_save = (
                     n_events // checkpoint_events + 1
                 ) * checkpoint_events
-    elif batched:
+    elif kind == "continuous":
+        for event, delta in processor.events(max_events=remaining):
+            n_events += 1
+            timer.start()
+            model.update(delta)
+            timer.stop()
+            if n_events % fitness_every == 0:
+                checkpoint_times.append(event.time)
+                fitness_series.append(model.fitness())
+            if next_save is not None and n_events >= next_save:
+                save_state()
+                next_save = (
+                    n_events // checkpoint_events + 1
+                ) * checkpoint_events
+    else:
         # Periodic baselines only read the window at period boundaries, so
-        # the stream between boundaries is replayed with the pure batched
-        # scatter (bit-identical window, no per-event deltas needed).  Every
-        # boundary with data at or before it gets its update_period — in
-        # particular the final one, even when the stream ends exactly on it.
+        # the stream between boundaries is replayed without model updates —
+        # per event or with the pure batched scatter (bit-identical windows).
+        # Every boundary with data at or before it gets its update_period
+        # over the window exactly *at* the boundary — in particular the
+        # final one, even when the stream ends exactly on it or is exhausted
+        # before max_events; both engines share these semantics.
         while n_events < max_events:
-            applied = processor.run_batched(
-                end_time=next_boundary, max_events=max_events - n_events
-            )
+            if batched:
+                applied = processor.run_batched(
+                    end_time=next_boundary, max_events=max_events - n_events
+                )
+            else:
+                applied = processor.run(
+                    end_time=next_boundary, max_events=max_events - n_events
+                )
             n_events += applied
             if applied == 0 and not processor.has_pending_events:
+                break
+            upcoming = processor.next_event_time
+            if upcoming is not None and upcoming <= next_boundary:
+                # The event budget truncated the replay mid-period: the
+                # window has not reached the boundary, so scoring it would
+                # violate the boundary-exact invariant.  Stop without a
+                # sample, exactly like the historical per-event loop.
                 break
             timer.start()
             model.update_period()
@@ -317,31 +370,6 @@ def run_method(
             next_boundary += period
             if n_events >= max_events:
                 break
-    else:
-        for event, delta in processor.events(max_events=remaining):
-            n_events += 1
-            if kind == "continuous":
-                timer.start()
-                model.update(delta)
-                timer.stop()
-                if n_events % fitness_every == 0:
-                    checkpoint_times.append(event.time)
-                    fitness_series.append(model.fitness())
-                if next_save is not None and n_events >= next_save:
-                    save_state()
-                    next_save = (
-                        n_events // checkpoint_events + 1
-                    ) * checkpoint_events
-            else:
-                # Baselines update (and are scored) only at period
-                # boundaries, matching the once-per-period dots of Fig. 4.
-                while event.time >= next_boundary:
-                    timer.start()
-                    model.update_period()
-                    timer.stop()
-                    checkpoint_times.append(next_boundary)
-                    fitness_series.append(model.fitness())
-                    next_boundary += period
     if checkpoint_path is not None:
         # Final snapshot: a finished run can be resumed with a larger
         # max_events, and an interrupted rerun with --resume picks up here.
@@ -350,17 +378,19 @@ def run_method(
     if not fitness_series:
         checkpoint_times.append(processor.start_time)
         fitness_series.append(final_fitness)
-    replayed = n_events - resumed_events
     if kind == "continuous":
-        # n_updates is the lifetime counter (it matches n_events even after
-        # a resume, where the timer only saw this call's events) for both
-        # engines.  Per-update time is per *event*: the batched timer
-        # wrapped whole update_batch calls, so normalise by the events this
-        # call replayed to stay comparable with Fig. 5.
+        # n_updates is the lifetime event counter for both engines, and the
+        # timer holds lifetime seconds (resumes seed it from the checkpoint).
+        # Per-update time is per *event*: the batched timer wrapped whole
+        # update_batch calls, so normalise by the lifetime event count to
+        # stay comparable with Fig. 5.  A resume from a pre-fix checkpoint
+        # has no lifetime numerator, so its per-call numerator is normalised
+        # by the per-call event count instead.
         n_updates = model.n_updates
         if batched:
+            timed_events = n_events if timer_is_lifetime else n_events - resumed_events
             mean_update_microseconds = (
-                timer.total_seconds / replayed * 1e6 if replayed else 0.0
+                timer.total_seconds / timed_events * 1e6 if timed_events else 0.0
             )
         else:
             mean_update_microseconds = timer.mean_microseconds
@@ -413,15 +443,29 @@ def run_experiment(
     theta: int | None = None,
     eta: float | None = None,
 ) -> ExperimentResult:
-    """Run every method in ``methods`` on the dataset described by ``settings``."""
+    """Run every method in ``methods`` on the dataset described by ``settings``.
+
+    With ``settings.n_workers > 1`` the shared preparation (dataset, window,
+    ALS initialisation) still happens once, is persisted as an experiment
+    snapshot, and the per-method replays fan out over worker processes
+    (:mod:`repro.experiments.parallel`).  Results are identical to the
+    sequential run for every method — the replays are deterministic functions
+    of the snapshot — only wall-clock timings differ.  ``n_workers=1`` (the
+    default) runs everything in-process, bit-identically to older releases,
+    and keeps the ``<checkpoint_dir>/<method>`` layout either way.
+    """
+    # Local import: parallel imports run_method from this module.
+    from repro.experiments.parallel import (
+        method_result_from_payload,
+        method_task,
+        run_tasks_over_snapshot,
+    )
+
     stream, spec, window_config, initial, initial_fitness = prepare_experiment(settings)
-    results: dict[str, MethodResult] = {}
-    for method in methods:
-        results[method] = run_method(
-            stream,
-            window_config,
+    tasks = [
+        method_task(
             method,
-            initial_factors=initial,
+            method,
             rank=spec.rank,
             theta=spec.theta if theta is None else theta,
             eta=spec.eta if eta is None else eta,
@@ -430,10 +474,32 @@ def run_experiment(
             seed=settings.seed,
             batched=settings.batched,
             sampling=settings.sampling,
-            checkpoint_dir=settings.checkpoint_dir,
             checkpoint_events=settings.checkpoint_events,
-            resume=settings.resume,
+            # Keep run checkpoints at <checkpoint_dir>/<method>, the
+            # sequential layout, so runs interoperate across n_workers.
+            checkpoint_subdir="",
         )
+        for method in methods
+    ]
+    payloads = run_tasks_over_snapshot(
+        stream,
+        window_config,
+        initial,
+        tasks,
+        n_workers=settings.n_workers,
+        work_dir=settings.checkpoint_dir,
+        resume=settings.resume,
+        extra={
+            "dataset": settings.dataset,
+            "scale": settings.scale,
+            "seed": settings.seed,
+            "rank": spec.rank,
+            "initial_fitness": initial_fitness,
+        },
+    )
+    results = {
+        method: method_result_from_payload(payloads[method]) for method in methods
+    }
     return ExperimentResult(
         dataset=settings.dataset,
         window_config=window_config,

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import prepare_experiment, run_method
+from repro.experiments.runner import prepare_experiment
 
 
 @dataclasses.dataclass(slots=True)
@@ -45,23 +45,45 @@ def run_scalability(
     methods: Sequence[str] = ("sns_vec", "sns_rnd", "sns_vec_plus", "sns_rnd_plus"),
     event_counts: Sequence[int] = (500, 1000, 1500, 2000, 2500),
 ) -> ScalabilityResult:
-    """Run the Fig. 6 experiment on one dataset."""
+    """Run the Fig. 6 experiment on one dataset.
+
+    Every (method, event-count) replay is an independent task over one
+    prepared snapshot; ``settings.n_workers > 1`` fans them out over worker
+    processes.  Total update time is accumulated inside each worker, so the
+    series keeps its meaning under fan-out.
+    """
+    from repro.experiments.parallel import (
+        method_result_from_payload,
+        method_task,
+        run_tasks_over_snapshot,
+    )
+
     settings = settings or ExperimentSettings()
     stream, spec, window_config, initial, _ = prepare_experiment(settings)
+    tasks = [
+        method_task(
+            f"{method}@events={int(count)}",
+            method,
+            rank=spec.rank,
+            theta=spec.theta,
+            eta=spec.eta,
+            max_events=int(count),
+            fitness_every=max(int(count), 1),  # single fitness sample at the end
+            seed=settings.seed,
+            batched=settings.batched,
+            sampling=settings.sampling,
+        )
+        for count in event_counts
+        for method in methods
+    ]
+    payloads = run_tasks_over_snapshot(
+        stream, window_config, initial, tasks, n_workers=settings.n_workers
+    )
     total_seconds: dict[str, list[float]] = {method: [] for method in methods}
     for count in event_counts:
         for method in methods:
-            outcome = run_method(
-                stream,
-                window_config,
-                method,
-                initial_factors=initial,
-                rank=spec.rank,
-                theta=spec.theta,
-                eta=spec.eta,
-                max_events=int(count),
-                fitness_every=max(int(count), 1),  # single fitness sample at the end
-                seed=settings.seed,
+            outcome = method_result_from_payload(
+                payloads[f"{method}@events={int(count)}"]
             )
             total_seconds[method].append(outcome.total_update_seconds)
     return ScalabilityResult(

@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import prepare_experiment, run_method
+from repro.experiments.runner import prepare_experiment
 from repro.metrics.fitness import relative_fitness
 
 
@@ -32,37 +32,51 @@ def run_theta_sweep(
     methods: Sequence[str] = ("sns_rnd", "sns_rnd_plus"),
     fractions: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0),
 ) -> ThetaSweepResult:
-    """Run the Fig. 7 sweep on one dataset."""
+    """Run the Fig. 7 sweep on one dataset.
+
+    Every (method, θ) replay — and the shared ALS reference — is an
+    independent task over one prepared snapshot; ``settings.n_workers > 1``
+    fans them out over worker processes with identical results.
+    """
+    from repro.experiments.parallel import (
+        method_result_from_payload,
+        method_task,
+        run_tasks_over_snapshot,
+    )
+
     settings = settings or ExperimentSettings()
     stream, spec, window_config, initial, _ = prepare_experiment(settings)
     thetas = sorted({max(int(round(spec.theta * f)), 1) for f in fractions})
-    # ALS reference run once (θ does not affect it).
-    reference = run_method(
-        stream,
-        window_config,
-        "als",
-        initial_factors=initial,
+    shared = dict(
         rank=spec.rank,
         max_events=settings.max_events,
         fitness_every=settings.fitness_every,
         seed=settings.seed,
+        batched=settings.batched,
+        sampling=settings.sampling,
     )
+    # ALS reference run once (θ does not affect it).
+    tasks = [method_task("als", "als", **shared)]
+    for theta in thetas:
+        for method in methods:
+            tasks.append(
+                method_task(
+                    f"{method}@theta={theta}",
+                    method,
+                    theta=theta,
+                    eta=spec.eta,
+                    **shared,
+                )
+            )
+    payloads = run_tasks_over_snapshot(
+        stream, window_config, initial, tasks, n_workers=settings.n_workers
+    )
+    reference = method_result_from_payload(payloads["als"])
     rel: dict[str, list[float]] = {method: [] for method in methods}
     micro: dict[str, list[float]] = {method: [] for method in methods}
     for theta in thetas:
         for method in methods:
-            outcome = run_method(
-                stream,
-                window_config,
-                method,
-                initial_factors=initial,
-                rank=spec.rank,
-                theta=theta,
-                eta=spec.eta,
-                max_events=settings.max_events,
-                fitness_every=settings.fitness_every,
-                seed=settings.seed,
-            )
+            outcome = method_result_from_payload(payloads[f"{method}@theta={theta}"])
             rel[method].append(
                 relative_fitness(outcome.average_fitness, reference.average_fitness)
             )

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import time
 
+from repro.exceptions import TimerError
+
 
 class Stopwatch:
     """Context manager measuring elapsed wall-clock time in seconds."""
@@ -30,16 +32,40 @@ class UpdateTimer:
     def __init__(self) -> None:
         self.total_seconds = 0.0
         self.n_updates = 0
-        self._start = 0.0
+        self._start: float | None = None
 
     def start(self) -> None:
         """Start timing one update."""
         self._start = time.perf_counter()
 
     def stop(self) -> None:
-        """Stop timing one update and accumulate."""
+        """Stop timing one update and accumulate.
+
+        Raises :class:`~repro.exceptions.TimerError` when no matching
+        :meth:`start` preceded it — silently accumulating time since the
+        perf-counter origin would poison every derived statistic.
+        """
+        if self._start is None:
+            raise TimerError("UpdateTimer.stop() called without a matching start()")
         self.total_seconds += time.perf_counter() - self._start
         self.n_updates += 1
+        self._start = None
+
+    def restore(self, total_seconds: float, n_updates: int) -> None:
+        """Seed the accumulated totals (used when resuming a checkpointed run).
+
+        The timer continues counting on top of the restored totals, so the
+        derived per-update statistics reflect the lifetime run rather than
+        only the updates timed after the restore.
+        """
+        if total_seconds < 0.0 or n_updates < 0:
+            raise TimerError(
+                f"cannot restore negative timer totals "
+                f"({total_seconds} s, {n_updates} updates)"
+            )
+        self.total_seconds = float(total_seconds)
+        self.n_updates = int(n_updates)
+        self._start = None
 
     @property
     def mean_seconds(self) -> float:

@@ -43,6 +43,18 @@ both samplers.
 
 Checkpoints are self-contained: restoring does not need the original stream
 object (the records still in flight are stored in the checkpoint itself).
+
+Experiment snapshots
+--------------------
+:func:`save_experiment_snapshot` / :func:`load_experiment_snapshot` persist a
+*prepared-but-unstarted* experiment: the full stream record table, the window
+configuration, and the shared ALS initial factors every method starts from.
+The snapshot is the unit of distribution for parallel replay
+(:mod:`repro.experiments.parallel`): the parent prepares once, ships the
+directory, and each worker rehydrates the identical stream and initial
+decomposition — no per-worker data generation or ALS.  Rehydration is exact:
+records and factors round-trip through float64 npz arrays bit-for-bit, so a
+worker's ``run_method`` outcome is identical to an in-process run.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ import dataclasses
 import json
 import os
 import shutil
+from collections.abc import Sequence
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -60,11 +73,13 @@ from repro.exceptions import ConfigurationError
 from repro.stream.events import StreamRecord, WindowEvent
 from repro.stream.processor import ContinuousStreamProcessor
 from repro.stream.scheduler import EventScheduler, RawEvent
+from repro.stream.stream import MultiAspectStream
 from repro.stream.window import TensorWindow, WindowConfig
 from repro.tensor.sparse import SparseTensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.base import ContinuousCPD
+    from repro.tensor.kruskal import KruskalTensor
 
 #: Format identifier written into every manifest.
 FORMAT_NAME = "repro-stream-checkpoint"
@@ -75,6 +90,13 @@ FORMAT_VERSION = 1
 
 MANIFEST_FILENAME = "manifest.json"
 ARRAYS_FILENAME = "state.npz"
+
+#: Format identifier of prepared-experiment snapshots (same file layout, a
+#: different payload: stream records + window config + initial factors).
+SNAPSHOT_FORMAT_NAME = "repro-experiment-snapshot"
+
+#: On-disk snapshot format version; mismatches raise ConfigurationError.
+SNAPSHOT_FORMAT_VERSION = 1
 
 
 @dataclasses.dataclass(slots=True)
@@ -211,6 +233,18 @@ def save_checkpoint(
     if model is not None:
         manifest["model"] = _pack_model_state(model.state_dict(), arrays)
 
+    return _atomic_write_directory(path, manifest, arrays)
+
+
+def _atomic_write_directory(
+    path: Path, manifest: dict[str, Any], arrays: dict[str, np.ndarray]
+) -> Path:
+    """Write ``manifest.json`` + ``state.npz`` to ``path`` via a tmp-dir swap.
+
+    Crash-safe for the single-writer case: an interrupted write can never
+    leave a manifest paired with mismatched arrays (see
+    :func:`save_checkpoint` for the full guarantee).
+    """
     temp_dir = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     if temp_dir.exists():
         shutil.rmtree(temp_dir)
@@ -432,3 +466,151 @@ def restore_run(
     processor = restore_processor(checkpoint)
     model = restore_model(checkpoint, processor.window)
     return processor, model, checkpoint.extra
+
+
+# ----------------------------------------------------------------------
+# Experiment snapshots (prepared-but-unstarted runs)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(slots=True)
+class ExperimentSnapshot:
+    """A rehydrated prepared experiment: everything a worker needs to replay.
+
+    ``stream`` and ``initial_factors`` are bit-identical to the objects the
+    parent snapshotted, so ``run_method(stream, window_config, ...)`` in a
+    worker process produces exactly the sequential result.
+    """
+
+    stream: MultiAspectStream
+    window_config: WindowConfig
+    initial_factors: "KruskalTensor"
+    extra: Any = None
+
+
+def is_experiment_snapshot(path: str | Path) -> bool:
+    """True if ``path`` holds an experiment snapshot (cheap manifest sniff)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    if not manifest_path.is_file() or not (path / ARRAYS_FILENAME).is_file():
+        return False
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return manifest.get("format") == SNAPSHOT_FORMAT_NAME
+
+
+def save_experiment_snapshot(
+    path: str | Path,
+    stream: MultiAspectStream,
+    window_config: WindowConfig,
+    initial_factors: "KruskalTensor | Sequence[np.ndarray]",
+    extra: Any = None,
+) -> Path:
+    """Persist a prepared experiment (stream + window config + initial factors).
+
+    The write is atomic in the same sense as :func:`save_checkpoint`.
+    ``extra`` must be JSON-serializable; the parallel runner stores the
+    dataset spec scalars (rank, θ, η) and the initial fitness there so
+    workers never re-derive them.
+    """
+    from repro.tensor.kruskal import KruskalTensor
+
+    path = Path(path)
+    if stream.mode_sizes != window_config.mode_sizes:
+        raise ConfigurationError(
+            f"stream mode sizes {stream.mode_sizes} do not match window "
+            f"config {window_config.mode_sizes}"
+        )
+    if not isinstance(initial_factors, KruskalTensor):
+        initial_factors = KruskalTensor(list(initial_factors))
+    n_categorical = len(window_config.mode_sizes)
+    records = stream.records
+    arrays: dict[str, np.ndarray] = {
+        "records_indices": (
+            np.array([record.indices for record in records], dtype=np.int64)
+            if records
+            else np.empty((0, n_categorical), dtype=np.int64)
+        ),
+        "records_values": np.array(
+            [record.value for record in records], dtype=np.float64
+        ),
+        "records_times": np.array(
+            [record.time for record in records], dtype=np.float64
+        ),
+        "initial_weights": np.asarray(initial_factors.weights, dtype=np.float64),
+    }
+    for mode, factor in enumerate(initial_factors.factors):
+        arrays[f"initial_factor_{mode}"] = np.asarray(factor, dtype=np.float64)
+    manifest: dict[str, Any] = {
+        "format": SNAPSHOT_FORMAT_NAME,
+        "version": SNAPSHOT_FORMAT_VERSION,
+        "window": {
+            "mode_sizes": list(window_config.mode_sizes),
+            "window_length": window_config.window_length,
+            "period": window_config.period,
+        },
+        "mode_names": list(stream.mode_names),
+        "n_factors": len(initial_factors.factors),
+        "extra": extra,
+    }
+    return _atomic_write_directory(path, manifest, arrays)
+
+
+def load_experiment_snapshot(path: str | Path) -> ExperimentSnapshot:
+    """Rehydrate a snapshot written by :func:`save_experiment_snapshot`."""
+    from repro.tensor.kruskal import KruskalTensor
+
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILENAME
+    arrays_path = path / ARRAYS_FILENAME
+    if not manifest_path.is_file() or not arrays_path.is_file():
+        raise ConfigurationError(f"{path} is not an experiment snapshot directory")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"cannot read snapshot manifest {manifest_path}: {error}"
+        ) from error
+    if manifest.get("format") != SNAPSHOT_FORMAT_NAME:
+        raise ConfigurationError(
+            f"{manifest_path} is not a {SNAPSHOT_FORMAT_NAME} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = manifest.get("version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"snapshot format version {version!r} is not supported "
+            f"(this implementation reads version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    with np.load(arrays_path, allow_pickle=False) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+    window_manifest = manifest["window"]
+    window_config = WindowConfig(
+        mode_sizes=tuple(window_manifest["mode_sizes"]),
+        window_length=window_manifest["window_length"],
+        period=window_manifest["period"],
+    )
+    records = [
+        StreamRecord(indices=tuple(row), value=value, time=time)
+        for row, value, time in zip(
+            np.asarray(arrays["records_indices"], dtype=np.int64).tolist(),
+            arrays["records_values"].tolist(),
+            arrays["records_times"].tolist(),
+        )
+    ]
+    stream = MultiAspectStream(
+        records,
+        mode_sizes=window_config.mode_sizes,
+        mode_names=tuple(manifest.get("mode_names") or ()) or None,
+    )
+    factors = [
+        arrays[f"initial_factor_{mode}"]
+        for mode in range(int(manifest["n_factors"]))
+    ]
+    initial = KruskalTensor(factors, arrays["initial_weights"])
+    return ExperimentSnapshot(
+        stream=stream,
+        window_config=window_config,
+        initial_factors=initial,
+        extra=manifest.get("extra"),
+    )

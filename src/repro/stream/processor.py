@@ -139,6 +139,23 @@ class ContinuousStreamProcessor:
         """True while any arrival, shift, or expiry is still due."""
         return bool(self._future_records) or len(self._scheduler) > 0
 
+    @property
+    def next_event_time(self) -> float | None:
+        """Fire time of the next pending event, or ``None`` when drained.
+
+        Pure peek — no state is touched, so it is safe between events /
+        batches.  Callers use it to tell a replay that stopped because it
+        reached ``end_time`` apart from one that stopped on ``max_events``
+        mid-interval.
+        """
+        next_arrival = self._future_records[-1].time if self._future_records else None
+        next_scheduled = self._scheduler.peek_time()
+        if next_arrival is None:
+            return next_scheduled
+        if next_scheduled is None:
+            return next_arrival
+        return min(next_scheduled, next_arrival)
+
     # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------

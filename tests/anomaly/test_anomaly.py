@@ -104,10 +104,43 @@ class TestZScoreDetector:
     def test_detection_delay(self):
         detector = ZScoreDetector(warmup=1)
         for i in range(40):
-            detector.observe((0, i), 1.0, event_time=float(i))
+            # Alternate two values so the running std is positive and the
+            # outlier below receives a real (non-placeholder) Z-score.
+            detector.observe((0, i), 1.0 + 0.1 * (i % 2), event_time=float(i))
         detector.observe((5, 5), 100.0, event_time=50.0, detection_time=62.5)
         assert detector.mean_detection_delay(1, {(5, 5)}) == pytest.approx(12.5)
         assert math.isnan(detector.mean_detection_delay(1, {(1, 1)}))
+
+    def test_precision_divides_by_k_not_scoreboard_size(self, rng):
+        detector = ZScoreDetector(warmup=5)
+        for i in range(30):
+            detector.observe((0, i), float(rng.normal(1.0, 0.1)), event_time=i)
+        detector.observe((7, 7), 50.0, event_time=40.0)
+        # Only one real hit exists; asking for the top-20 must not let the
+        # short scoreboard inflate precision to 1/len(top).
+        assert detector.precision_at_k(20, {(7, 7)}) == pytest.approx(1 / 20)
+        assert detector.precision_at_k(0, {(7, 7)}) == 0.0
+
+    def test_warmup_placeholders_never_reach_the_scoreboard(self):
+        detector = ZScoreDetector(warmup=10)
+        for i in range(5):
+            detector.observe((0, i), 5.0, event_time=float(i))
+        # All observations so far are z == 0.0 warm-up placeholders.
+        assert all(score.is_warmup for score in detector.scores)
+        assert detector.top_k(5) == []
+        assert detector.precision_at_k(5, {(0, 0)}) == 0.0
+
+    def test_genuine_zero_score_stays_eligible(self):
+        # An error exactly equal to the running mean yields z == 0.0 after
+        # warm-up; it is a real score, not a placeholder, and must keep its
+        # scoreboard eligibility.
+        detector = ZScoreDetector(warmup=2)
+        detector.observe((0, 0), 1.0, event_time=0.0)
+        detector.observe((0, 1), 3.0, event_time=1.0)  # mean is now exactly 2.0
+        score = detector.observe((9, 9), 2.0, event_time=2.0)
+        assert score.z_score == 0.0
+        assert not score.is_warmup
+        assert score in detector.top_k(10)
 
     def test_empty_detector_edge_cases(self):
         detector = ZScoreDetector()

@@ -1,0 +1,406 @@
+"""Parallel experiment fan-out: equivalence, crash recovery, scheduler edges.
+
+The contract under test: ``n_workers > 1`` changes *wall-clock shape only* —
+every method replay is a deterministic function of the shared snapshot and
+the task parameters, so fitness series, final factors, and event counts are
+identical to the sequential run; and a worker killed mid-task is resumed
+from its crash-recovery checkpoint, not restarted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.eta_sweep import run_eta_sweep
+from repro.experiments.granularity import run_granularity
+from repro.experiments.parallel import (
+    FAULT_ENV,
+    RESULT_SUFFIX,
+    ExperimentTask,
+    execute_task,
+    method_result_from_payload,
+    method_task,
+    run_tasks,
+    run_tasks_over_snapshot,
+    task_fingerprint,
+)
+from repro.experiments.runner import prepare_experiment, run_experiment, run_method
+from repro.experiments.scalability import run_scalability
+from repro.experiments.theta_sweep import run_theta_sweep
+from repro.stream.checkpoint import (
+    ExperimentSnapshot,
+    restore_run,
+    save_experiment_snapshot,
+)
+
+#: Small but non-trivial shared workload (a few hundred events, real window).
+SETTINGS = ExperimentSettings(dataset="nyc_taxi", scale=0.1, max_events=120, n_checkpoints=4)
+
+#: All five SliceNStitch variants plus two periodic baselines.
+ALL_METHODS = (
+    "sns_rnd_plus",
+    "sns_vec_plus",
+    "sns_rnd",
+    "sns_vec",
+    "sns_mat",
+    "als",
+    "online_scp",
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    """One shared prepared experiment for the whole module."""
+    return prepare_experiment(SETTINGS)
+
+
+def _assert_method_results_equal(sequential, parallel):
+    assert parallel.fitness_series == sequential.fitness_series
+    assert parallel.checkpoint_times == sequential.checkpoint_times
+    assert parallel.final_fitness == sequential.final_fitness
+    assert parallel.n_events == sequential.n_events
+    assert parallel.n_updates == sequential.n_updates
+    assert parallel.n_parameters == sequential.n_parameters
+    assert parallel.kind == sequential.kind
+
+
+class TestRunExperimentEquivalence:
+    def test_all_methods_parallel_equals_sequential(self, tmp_path):
+        """5 variants + 2 baselines: fitness series AND final factors match."""
+        sequential = run_experiment(
+            dataclasses.replace(SETTINGS, checkpoint_dir=str(tmp_path / "seq")),
+            ALL_METHODS,
+        )
+        parallel = run_experiment(
+            dataclasses.replace(
+                SETTINGS, checkpoint_dir=str(tmp_path / "par"), n_workers=4
+            ),
+            ALL_METHODS,
+        )
+        assert parallel.initial_fitness == sequential.initial_fitness
+        for method in ALL_METHODS:
+            _assert_method_results_equal(
+                sequential.methods[method], parallel.methods[method]
+            )
+        # Final factors: both runs checkpointed every continuous method under
+        # <dir>/<method> (the shared layout); the saved models must agree
+        # exactly.
+        for method in ALL_METHODS:
+            if sequential.methods[method].kind != "continuous":
+                continue
+            _, seq_model, _ = restore_run(tmp_path / "seq" / method)
+            _, par_model, _ = restore_run(tmp_path / "par" / method)
+            for seq_factor, par_factor in zip(seq_model.factors, par_model.factors):
+                assert (np.asarray(seq_factor) == np.asarray(par_factor)).all()
+
+    def test_batched_engine_parallel_equals_sequential(self):
+        methods = ("sns_rnd_plus", "als")
+        batched = dataclasses.replace(SETTINGS, batched=True)
+        sequential = run_experiment(batched, methods)
+        parallel = run_experiment(
+            dataclasses.replace(batched, n_workers=2), methods
+        )
+        for method in methods:
+            _assert_method_results_equal(
+                sequential.methods[method], parallel.methods[method]
+            )
+
+
+class TestSnapshotRehydration:
+    def test_rehydrated_run_matches_in_process(self, prepared, tmp_path):
+        stream, spec, window_config, initial, initial_fitness = prepared
+        path = tmp_path / "snapshot"
+        save_experiment_snapshot(
+            path, stream, window_config, initial, extra={"initial_fitness": initial_fitness}
+        )
+        from repro.stream.checkpoint import load_experiment_snapshot
+
+        snapshot = load_experiment_snapshot(path)
+        assert snapshot.extra == {"initial_fitness": initial_fitness}
+        assert snapshot.window_config == window_config
+        assert snapshot.stream.records == stream.records
+        assert snapshot.stream.mode_names == stream.mode_names
+        for rebuilt, original in zip(
+            snapshot.initial_factors.factors, initial.factors
+        ):
+            assert (rebuilt == original).all()
+        assert (snapshot.initial_factors.weights == initial.weights).all()
+        kwargs = dict(rank=spec.rank, theta=spec.theta, eta=spec.eta,
+                      max_events=80, fitness_every=20, seed=SETTINGS.seed)
+        direct = run_method(
+            stream, window_config, "sns_rnd", initial_factors=initial, **kwargs
+        )
+        rehydrated = run_method(
+            snapshot.stream,
+            snapshot.window_config,
+            "sns_rnd",
+            initial_factors=snapshot.initial_factors,
+            **kwargs,
+        )
+        _assert_method_results_equal(direct, rehydrated)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_task_is_resumed_not_restarted(
+        self, prepared, tmp_path, monkeypatch
+    ):
+        stream, spec, window_config, initial, _ = prepared
+        kwargs = dict(rank=spec.rank, max_events=120, fitness_every=30)
+        reference = run_method(
+            stream, window_config, "sns_vec_plus", initial_factors=initial, **kwargs
+        )
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        # The fault hook kills the worker after 120/2 events on the *first*
+        # attempt only; a scheduler that restarted (resume=False) instead of
+        # resuming would crash again and exhaust max_task_failures=1.
+        monkeypatch.setenv(FAULT_ENV, "victim:60")
+        task = method_task("victim", "sns_vec_plus", **kwargs)
+        payloads = run_tasks(
+            [task],
+            snapshot_path=snapshot_path,
+            work_dir=tmp_path / "pool",
+            n_workers=2,
+            max_task_failures=1,
+        )
+        result = method_result_from_payload(payloads["victim"])
+        # Per-event engine + crash on a fitness-cadence multiple: the whole
+        # series (not just the final value) must match the uninterrupted run.
+        _assert_method_results_equal(reference, result)
+        # The task's lifetime checkpoint reflects the full resumed run.
+        _, model, extra = restore_run(tmp_path / "pool" / "victim" / "sns_vec_plus")
+        assert extra["n_events"] == 120
+        assert model.n_updates == 120
+
+    def test_failure_budget_exhausted_raises_and_leaves_checkpoint(
+        self, prepared, tmp_path, monkeypatch
+    ):
+        stream, spec, window_config, initial, _ = prepared
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        monkeypatch.setenv(FAULT_ENV, "victim:40")
+        task = method_task(
+            "victim", "sns_vec", rank=spec.rank, max_events=120, fitness_every=30
+        )
+        with pytest.raises(WorkerError, match="victim"):
+            run_tasks(
+                [task],
+                snapshot_path=snapshot_path,
+                work_dir=tmp_path / "pool",
+                n_workers=1,
+                max_task_failures=0,
+            )
+        # The failed attempt still persisted a resumable checkpoint.
+        _, model, extra = restore_run(tmp_path / "pool" / "victim" / "sns_vec")
+        assert extra["n_events"] == 40
+        assert model.n_updates == 40
+
+    def test_fresh_run_ignores_stale_results_and_checkpoints(
+        self, prepared, tmp_path
+    ):
+        # A reused work dir (say, a checkpoint_dir from an earlier experiment
+        # with a different event budget) must not leak its results or
+        # checkpoints into a fresh (resume=False) run.
+        stream, spec, window_config, initial, _ = prepared
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        work_dir = tmp_path / "pool"
+        task = method_task(
+            "t", "sns_vec", rank=spec.rank, max_events=80, fitness_every=40
+        )
+        # Earlier run: different budget, leaves result + finished checkpoint.
+        stale_task = method_task(
+            "t", "sns_vec", rank=spec.rank, max_events=40, fitness_every=40
+        )
+        run_tasks(
+            [stale_task],
+            snapshot_path=snapshot_path,
+            work_dir=work_dir,
+            n_workers=1,
+        )
+        fresh = run_tasks(
+            [task], snapshot_path=snapshot_path, work_dir=work_dir, n_workers=1
+        )
+        result = method_result_from_payload(fresh["t"])
+        assert result.n_events == 80  # not the stale 40-event outcome
+        _, model, extra = restore_run(work_dir / "t" / "sns_vec")
+        assert extra["n_events"] == 80  # stale checkpoint was cleared too
+
+    def test_resume_trusts_matching_result_files(
+        self, prepared, tmp_path
+    ):
+        stream, spec, window_config, initial, _ = prepared
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        work_dir = tmp_path / "pool"
+        work_dir.mkdir()
+        task = method_task(
+            "done", "sns_vec", rank=spec.rank, max_events=40, fitness_every=20
+        )
+        sentinel = {
+            "task_kind": "method",
+            "sentinel": True,
+            "task_fingerprint": task_fingerprint(task),
+        }
+        (work_dir / f"done{RESULT_SUFFIX}").write_text(json.dumps(sentinel))
+        payloads = run_tasks(
+            [task],
+            snapshot_path=snapshot_path,
+            work_dir=work_dir,
+            n_workers=2,
+            resume=True,
+        )
+        # The pre-existing matching result was adopted; the task never re-ran.
+        assert payloads["done"] == sentinel
+
+    def test_resume_with_larger_budget_continues_instead_of_reusing(
+        self, prepared, tmp_path
+    ):
+        # A finished run's result file must not satisfy a resumed run with a
+        # larger max_events: the task re-executes and continues from its
+        # checkpoint, exactly like a sequential resume.
+        stream, spec, window_config, initial, _ = prepared
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        work_dir = tmp_path / "pool"
+        short = method_task(
+            "t", "sns_vec_plus", rank=spec.rank, max_events=60, fitness_every=30
+        )
+        run_tasks(
+            [short], snapshot_path=snapshot_path, work_dir=work_dir, n_workers=1
+        )
+        longer = method_task(
+            "t", "sns_vec_plus", rank=spec.rank, max_events=120, fitness_every=30
+        )
+        payloads = run_tasks(
+            [longer],
+            snapshot_path=snapshot_path,
+            work_dir=work_dir,
+            n_workers=1,
+            resume=True,
+        )
+        result = method_result_from_payload(payloads["t"])
+        reference = run_method(
+            stream, window_config, "sns_vec_plus",
+            initial_factors=initial, rank=spec.rank,
+            max_events=120, fitness_every=30,
+        )
+        _assert_method_results_equal(reference, result)
+
+
+class TestSchedulerEdges:
+    def test_duplicate_task_keys_rejected(self, prepared):
+        stream, spec, window_config, initial, _ = prepared
+        tasks = [
+            method_task("same", "sns_vec", rank=spec.rank),
+            method_task("same", "sns_mat", rank=spec.rank),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_tasks_over_snapshot(stream, window_config, initial, tasks)
+
+    def test_invalid_keys_and_kinds_rejected(self):
+        with pytest.raises(ConfigurationError, match="path-free"):
+            ExperimentTask(key="a/b")
+        with pytest.raises(ConfigurationError, match="path-free"):
+            ExperimentTask(key="")
+        with pytest.raises(ConfigurationError, match="kind"):
+            ExperimentTask(key="ok", kind="nonsense")
+
+    def test_nonpositive_workers_rejected(self, prepared):
+        stream, spec, window_config, initial, _ = prepared
+        task = method_task("t", "sns_vec", rank=spec.rank)
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            run_tasks_over_snapshot(
+                stream, window_config, initial, [task], n_workers=0
+            )
+
+    def test_spawn_start_method_is_supported(self, prepared, tmp_path):
+        """Workers must stay spawn-safe (the distributed-replay story)."""
+        stream, spec, window_config, initial, _ = prepared
+        kwargs = dict(rank=spec.rank, max_events=40, fitness_every=20)
+        snapshot_path = tmp_path / "snapshot"
+        save_experiment_snapshot(snapshot_path, stream, window_config, initial)
+        payloads = run_tasks(
+            [method_task("only", "sns_vec", **kwargs)],
+            snapshot_path=snapshot_path,
+            work_dir=tmp_path / "pool",
+            n_workers=1,
+            start_method="spawn",
+        )
+        snapshot = ExperimentSnapshot(
+            stream=stream, window_config=window_config, initial_factors=initial
+        )
+        in_process = execute_task(
+            snapshot, method_task("only", "sns_vec", **kwargs)
+        )
+        spawned = payloads["only"]
+        assert spawned["fitness_series"] == in_process["fitness_series"]
+        assert spawned["final_fitness"] == in_process["final_fitness"]
+
+
+class TestSweepFanOut:
+    """Each sweep's parallel path must reproduce its sequential results."""
+
+    def test_eta_sweep(self):
+        kwargs = dict(methods=("sns_vec_plus",), etas=(100.0, 1000.0))
+        small = dataclasses.replace(SETTINGS, max_events=60, n_checkpoints=3)
+        sequential = run_eta_sweep(small, **kwargs)
+        parallel = run_eta_sweep(
+            dataclasses.replace(small, n_workers=2), **kwargs
+        )
+        assert parallel.etas == sequential.etas
+        assert parallel.relative_fitness == sequential.relative_fitness
+
+    def test_theta_sweep(self):
+        kwargs = dict(methods=("sns_rnd",), fractions=(0.5, 1.0))
+        small = dataclasses.replace(SETTINGS, max_events=60, n_checkpoints=3)
+        sequential = run_theta_sweep(small, **kwargs)
+        parallel = run_theta_sweep(
+            dataclasses.replace(small, n_workers=2), **kwargs
+        )
+        assert parallel.thetas == sequential.thetas
+        assert parallel.relative_fitness == sequential.relative_fitness
+        # update_microseconds is wall-clock and may differ; shape must not.
+        assert {
+            method: len(series)
+            for method, series in parallel.update_microseconds.items()
+        } == {
+            method: len(series)
+            for method, series in sequential.update_microseconds.items()
+        }
+
+    def test_scalability(self):
+        kwargs = dict(methods=("sns_vec",), event_counts=(40, 80))
+        small = dataclasses.replace(SETTINGS, max_events=80)
+        sequential = run_scalability(small, **kwargs)
+        parallel = run_scalability(
+            dataclasses.replace(small, n_workers=2), **kwargs
+        )
+        assert parallel.event_counts == sequential.event_counts
+        assert set(parallel.total_seconds) == set(sequential.total_seconds)
+        assert all(
+            seconds > 0.0
+            for series in parallel.total_seconds.values()
+            for seconds in series
+        )
+
+    def test_granularity(self):
+        kwargs = dict(divisors=(2, 1), als_iterations=3)
+        small = dataclasses.replace(SETTINGS, max_events=60, n_checkpoints=3)
+        sequential = run_granularity(small, **kwargs)
+        parallel = run_granularity(
+            dataclasses.replace(small, n_workers=2), **kwargs
+        )
+        for seq_point, par_point in zip(
+            sequential.conventional(), parallel.conventional()
+        ):
+            assert par_point.update_interval == seq_point.update_interval
+            assert par_point.fitness == seq_point.fitness
+            assert par_point.n_parameters == seq_point.n_parameters
+        assert parallel.continuous().fitness == sequential.continuous().fitness

@@ -119,6 +119,100 @@ class TestRunMethod:
         assert len(result.fitness_series) == 1  # falls back to final fitness
 
 
+class TestBaselineBoundarySemantics:
+    """Both engines score periodic baselines identically (boundary-exact)."""
+
+    @pytest.mark.parametrize("max_events", [37, 300, 600])
+    def test_engines_agree_bit_for_bit(self, runner_setup, max_events):
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=max_events,
+            fitness_every=100,
+        )
+        sequential = run_method(stream, window_config, "als", **kwargs)
+        batched = run_method(stream, window_config, "als", batched=True, **kwargs)
+        # Identical semantics: the same boundaries are scored over the same
+        # window values.  (The grouped scatter can store entries in a
+        # different order than per-event applies, so ALS's float reductions
+        # round differently — values agree to float precision, structure
+        # exactly.)
+        assert batched.fitness_series == pytest.approx(
+            sequential.fitness_series, rel=1e-9
+        )
+        assert batched.checkpoint_times == sequential.checkpoint_times
+        assert batched.n_events == sequential.n_events
+        assert batched.n_updates == sequential.n_updates
+        assert batched.final_fitness == pytest.approx(
+            sequential.final_fitness, rel=1e-9
+        )
+
+    def test_trailing_boundaries_scored_when_stream_exhausts(self, runner_setup):
+        # Ask for far more events than the stream holds: the per-event loop
+        # historically stopped scoring at the last event, silently dropping
+        # every boundary at or past it; both engines must now score them.
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=10**6,
+            fitness_every=10**6,
+        )
+        sequential = run_method(stream, window_config, "als", **kwargs)
+        batched = run_method(stream, window_config, "als", batched=True, **kwargs)
+        assert sequential.n_events < 10**6  # the stream really ran out
+        assert sequential.checkpoint_times == batched.checkpoint_times
+        # Trailing windows are nearly empty, so ALS is ill-conditioned and
+        # amplifies the engines' storage-order rounding; the scored
+        # boundaries (the point of this test) still agree closely.
+        assert batched.fitness_series == pytest.approx(
+            sequential.fitness_series, rel=1e-5, abs=1e-5
+        )
+        # The last scored boundary is at or past the final event: no window
+        # state is left unscored when the stream ends.
+        last_event_time = max(record.time for record in stream.records) + (
+            window_config.window_length * window_config.period
+        )
+        assert sequential.checkpoint_times[-1] >= last_event_time - window_config.period
+
+    def test_truncated_final_period_is_not_scored(self, runner_setup):
+        # When max_events stops the replay mid-period, the window has not
+        # reached the next boundary, so no sample may be emitted for it —
+        # on either engine.
+        stream, window_config, initial, _ = runner_setup
+        probe = ContinuousStreamProcessor(stream, window_config)
+        first_boundary = probe.start_time + window_config.period
+        events_in_first_period = probe.run(end_time=first_boundary)
+        max_events = events_in_first_period + 3  # a few events into period 2
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=max_events,
+            fitness_every=10**6,
+        )
+        for batched in (False, True):
+            result = run_method(
+                stream, window_config, "als", batched=batched, **kwargs
+            )
+            assert result.n_events == max_events
+            assert result.n_updates == 1
+            assert result.checkpoint_times == [pytest.approx(first_boundary)]
+
+    def test_boundary_scored_when_stream_ends_exactly_on_it(self, runner_setup):
+        # Cap the replay so it ends exactly at a period boundary: that
+        # boundary itself must be scored, with the window at the boundary.
+        stream, window_config, initial, _ = runner_setup
+        processor = ContinuousStreamProcessor(stream, window_config)
+        boundary = processor.start_time + 3 * window_config.period
+        events_to_boundary = processor.run(end_time=boundary)
+        kwargs = dict(
+            initial_factors=initial, rank=5, max_events=events_to_boundary,
+            fitness_every=events_to_boundary,
+        )
+        sequential = run_method(stream, window_config, "als", **kwargs)
+        batched = run_method(stream, window_config, "als", batched=True, **kwargs)
+        assert sequential.checkpoint_times[-1] == pytest.approx(boundary)
+        assert sequential.checkpoint_times == batched.checkpoint_times
+        assert batched.fitness_series == pytest.approx(
+            sequential.fitness_series, rel=1e-9
+        )
+
+
 class TestFitnessEveryRename:
     def test_checkpoint_every_alias_warns_and_applies(self, runner_setup):
         stream, window_config, initial, _ = runner_setup
@@ -196,7 +290,33 @@ class TestCheckpointResume:
         )
         assert again.n_events == 200
         assert again.final_fitness == done.final_fitness
-        assert again.total_update_seconds == 0.0  # nothing left to replay
+        # Timing bookkeeping is lifetime: nothing was replayed, so the totals
+        # (and the derived per-update mean) are exactly the original run's.
+        assert again.total_update_seconds == done.total_update_seconds
+        assert again.mean_update_microseconds == done.mean_update_microseconds
+        assert again.n_updates == done.n_updates
+
+    def test_resumed_timing_covers_the_lifetime_run(self, runner_setup, tmp_path):
+        # A run interrupted at the halfway point and resumed must report
+        # per-update timings over all max_events updates, not just the
+        # events replayed after the restore.
+        stream, window_config, initial, _ = runner_setup
+        kwargs = dict(initial_factors=initial, rank=5, fitness_every=100)
+        first = run_method(
+            stream, window_config, "sns_vec", max_events=150,
+            checkpoint_dir=tmp_path, **kwargs
+        )
+        resumed = run_method(
+            stream, window_config, "sns_vec", max_events=300,
+            checkpoint_dir=tmp_path, resume=True, **kwargs
+        )
+        assert resumed.n_events == 300
+        assert resumed.n_updates == 300
+        # The resumed totals strictly include the first call's totals.
+        assert resumed.total_update_seconds > first.total_update_seconds
+        assert resumed.mean_update_microseconds == pytest.approx(
+            1e6 * resumed.total_update_seconds / 300
+        )
 
     def test_resume_with_different_hyper_parameters_is_rejected(
         self, runner_setup, tmp_path

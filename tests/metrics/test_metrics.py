@@ -13,6 +13,7 @@ from repro.metrics.errors import (
     reconstruction_errors,
     root_mean_squared_error,
 )
+from repro.exceptions import TimerError
 from repro.metrics.fitness import fitness, relative_fitness
 from repro.metrics.timing import Stopwatch, UpdateTimer
 from repro.tensor.kruskal import KruskalTensor
@@ -86,3 +87,52 @@ class TestTiming:
         assert timer.n_updates == 3
         assert timer.mean_seconds >= 0.0015
         assert timer.mean_microseconds == pytest.approx(1e6 * timer.mean_seconds)
+
+    def test_stopwatch_is_reusable(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.002)
+        first = watch.elapsed
+        with watch:
+            pass
+        # Each use measures its own interval, not a running total.
+        assert watch.elapsed < first
+
+    def test_stop_without_start_raises(self):
+        timer = UpdateTimer()
+        with pytest.raises(TimerError):
+            timer.stop()
+        assert timer.total_seconds == 0.0
+        assert timer.n_updates == 0
+
+    def test_double_stop_raises(self):
+        timer = UpdateTimer()
+        timer.start()
+        timer.stop()
+        with pytest.raises(TimerError):
+            timer.stop()
+        assert timer.n_updates == 1
+
+    def test_restart_overwrites_pending_start(self):
+        timer = UpdateTimer()
+        timer.start()
+        time.sleep(0.002)
+        timer.start()  # restart: the first interval is discarded
+        timer.stop()
+        assert timer.n_updates == 1
+        assert timer.total_seconds < 0.002
+
+    def test_restore_seeds_lifetime_totals(self):
+        timer = UpdateTimer()
+        timer.restore(2.0, 4)
+        assert timer.total_seconds == 2.0
+        assert timer.n_updates == 4
+        assert timer.mean_seconds == pytest.approx(0.5)
+        timer.start()
+        timer.stop()
+        assert timer.n_updates == 5
+        assert timer.total_seconds >= 2.0
+        with pytest.raises(TimerError):
+            timer.restore(-1.0, 0)
+        with pytest.raises(TimerError):
+            timer.restore(0.0, -3)

@@ -22,10 +22,14 @@ from repro.stream.checkpoint import (
     ARRAYS_FILENAME,
     FORMAT_VERSION,
     MANIFEST_FILENAME,
+    SNAPSHOT_FORMAT_VERSION,
     is_checkpoint,
+    is_experiment_snapshot,
     load_checkpoint,
+    load_experiment_snapshot,
     restore_run,
     save_checkpoint,
+    save_experiment_snapshot,
 )
 from repro.stream.events import EventKind, StreamRecord
 from repro.stream.processor import ContinuousStreamProcessor
@@ -291,3 +295,79 @@ class TestUnifiedEventCounter:
         small_processor.save_checkpoint(tmp_path / "ckpt")
         restored, _, _ = restore_run(tmp_path / "ckpt")
         assert restored.n_events_emitted == 33
+
+
+class TestExperimentSnapshots:
+    """Prepared-experiment snapshots: exact roundtrip + format validation."""
+
+    @pytest.fixture
+    def snapshot_parts(self, small_stream, small_window_config, small_processor):
+        initial = decompose(
+            small_processor.window.tensor, rank=4, n_iterations=5, seed=3
+        ).decomposition
+        return small_stream, small_window_config, initial
+
+    def test_roundtrip_is_exact(self, snapshot_parts, tmp_path):
+        stream, config, initial = snapshot_parts
+        path = save_experiment_snapshot(
+            tmp_path / "snap", stream, config, initial, extra={"note": "x"}
+        )
+        assert is_experiment_snapshot(path)
+        snapshot = load_experiment_snapshot(path)
+        assert snapshot.window_config == config
+        assert snapshot.stream.records == stream.records
+        assert snapshot.stream.mode_sizes == stream.mode_sizes
+        assert snapshot.stream.mode_names == stream.mode_names
+        for rebuilt, original in zip(
+            snapshot.initial_factors.factors, initial.factors
+        ):
+            assert (rebuilt == np.asarray(original)).all()
+        assert (snapshot.initial_factors.weights == initial.weights).all()
+        assert snapshot.extra == {"note": "x"}
+
+    def test_plain_factor_list_is_accepted(self, snapshot_parts, tmp_path):
+        stream, config, initial = snapshot_parts
+        path = save_experiment_snapshot(
+            tmp_path / "snap", stream, config, initial.factors
+        )
+        snapshot = load_experiment_snapshot(path)
+        for rebuilt, original in zip(
+            snapshot.initial_factors.factors, initial.factors
+        ):
+            assert (rebuilt == np.asarray(original)).all()
+        assert (snapshot.initial_factors.weights == 1.0).all()
+
+    def test_mismatched_stream_and_config_rejected(self, snapshot_parts, tmp_path):
+        stream, config, initial = snapshot_parts
+        other = WindowConfig(mode_sizes=(9, 9), window_length=4, period=10.0)
+        with pytest.raises(ConfigurationError, match="mode sizes"):
+            save_experiment_snapshot(tmp_path / "snap", stream, other, initial)
+
+    def test_snapshot_and_run_checkpoint_formats_are_distinct(
+        self, snapshot_parts, small_processor, tmp_path
+    ):
+        stream, config, initial = snapshot_parts
+        snapshot_path = save_experiment_snapshot(
+            tmp_path / "snap", stream, config, initial
+        )
+        checkpoint_path = small_processor.save_checkpoint(tmp_path / "ckpt")
+        assert not is_experiment_snapshot(checkpoint_path)
+        with pytest.raises(ConfigurationError, match="manifest|format"):
+            load_experiment_snapshot(checkpoint_path)
+        with pytest.raises(ConfigurationError, match="manifest|format"):
+            load_checkpoint(snapshot_path)
+
+    def test_snapshot_version_mismatch_raises(self, snapshot_parts, tmp_path):
+        stream, config, initial = snapshot_parts
+        path = save_experiment_snapshot(tmp_path / "snap", stream, config, initial)
+        manifest_path = path / MANIFEST_FILENAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = SNAPSHOT_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_experiment_snapshot(path)
+
+    def test_missing_directory_raises(self, tmp_path):
+        assert not is_experiment_snapshot(tmp_path / "nope")
+        with pytest.raises(ConfigurationError):
+            load_experiment_snapshot(tmp_path / "nope")
