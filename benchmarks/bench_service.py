@@ -1,0 +1,222 @@
+"""Multi-tenant streaming service benchmark.
+
+Drives an in-process :class:`~repro.service.server.StreamingServer` (the
+real asyncio front-end, minus the TCP socket) with several concurrent
+tenant streams and measures:
+
+* aggregate ingest throughput (records and events per second across all
+  streams, flush-barriered so every queued chunk is actually applied);
+* query latency while ingestion is running (factors / fitness round-trips);
+* checkpoint-all and full-recovery wall clock at that stream count.
+
+A correctness guard re-runs one stream's chunk sequence sequentially and
+requires bit-identical factors — throughput that breaks determinism does
+not count.  Results land in ``results/BENCH_service.json`` / ``.txt``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import tempfile
+import time
+
+import numpy as np
+
+from benchmarks._reporting import emit, emit_json
+from benchmarks.conftest import bench_scale
+
+from repro.service.config import ServiceConfig, StreamConfig
+from repro.service.manager import ServiceManager
+from repro.service.server import StreamingServer
+from repro.service.session import StreamSession
+from repro.stream.events import StreamRecord
+
+N_STREAMS = 8
+N_CHUNKS = 12
+CHUNK_RECORDS = 50
+WARM_RECORDS = 200
+
+STREAM_KWARGS = dict(
+    mode_sizes=(8, 6),
+    window_length=4,
+    period=10.0,
+    rank=4,
+    method="sns_vec",
+    als_iterations=4,
+    detector_warmup=20,
+    seed=0,
+)
+
+
+def _records(n, start, spacing, seed, mode_sizes=(8, 6)):
+    rng = np.random.default_rng(seed)
+    return [
+        StreamRecord(
+            indices=tuple(int(rng.integers(0, size)) for size in mode_sizes),
+            value=float(rng.uniform(0.5, 2.0)),
+            time=start + position * spacing,
+        )
+        for position in range(n)
+    ]
+
+
+def _wire(records):
+    return [[list(r.indices), r.value, r.time] for r in records]
+
+
+def _workload():
+    scale = bench_scale()
+    n_chunks = max(int(N_CHUNKS * scale), 3)
+    warm_span = STREAM_KWARGS["window_length"] * STREAM_KWARGS["period"]
+    spacing = warm_span / WARM_RECORDS
+    streams = {}
+    for position in range(N_STREAMS):
+        warm = _records(WARM_RECORDS, 0.0, spacing, seed=position + 1)
+        live = _records(
+            n_chunks * CHUNK_RECORDS,
+            warm_span + spacing,
+            spacing,
+            seed=position + 100,
+        )
+        chunks = [
+            live[i * CHUNK_RECORDS : (i + 1) * CHUNK_RECORDS]
+            for i in range(n_chunks)
+        ]
+        streams[f"tenant-{position}"] = (warm, chunks)
+    return streams
+
+
+def _sequential_factors(warm, chunks):
+    session = StreamSession("reference", StreamConfig(**STREAM_KWARGS))
+    session.ingest(warm)
+    session.start()
+    for chunk in chunks:
+        session.ingest(chunk)
+    return session.factors()["factors"]
+
+
+async def _drive(server, streams, query_latencies):
+    async def tenant(stream_id, warm, chunks):
+        await server._dispatch(
+            {
+                "op": "create_stream",
+                "stream": stream_id,
+                "config": dict(STREAM_KWARGS, mode_sizes=list(STREAM_KWARGS["mode_sizes"])),
+            }
+        )
+        await server._dispatch(
+            {"op": "ingest", "stream": stream_id, "records": _wire(warm)}
+        )
+        await server._dispatch({"op": "start_stream", "stream": stream_id})
+        for chunk in chunks:
+            await server._dispatch(
+                {"op": "ingest", "stream": stream_id, "records": _wire(chunk)}
+            )
+            started = time.perf_counter()
+            await server._dispatch({"op": "fitness", "stream": stream_id})
+            query_latencies.append(time.perf_counter() - started)
+        await server._dispatch({"op": "flush", "stream": stream_id})
+
+    await asyncio.gather(
+        *(tenant(stream_id, warm, chunks) for stream_id, (warm, chunks) in streams.items())
+    )
+
+
+def test_service_throughput():
+    streams = _workload()
+    n_live_records = sum(
+        len(chunk) for _, chunks in streams.values() for chunk in chunks
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(
+            max_streams=N_STREAMS, queue_limit=64, checkpoint_root=tmp
+        )
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(config))
+            query_latencies: list[float] = []
+            started = time.perf_counter()
+            await _drive(server, streams, query_latencies)
+            ingest_seconds = time.perf_counter() - started
+            telemetry = {
+                stream_id: server.manager.get(stream_id).telemetry
+                for stream_id in streams
+            }
+            n_events = sum(t.events_applied for t in telemetry.values())
+            started = time.perf_counter()
+            await server._dispatch({"op": "checkpoint_all"})
+            checkpoint_seconds = time.perf_counter() - started
+            factors = {
+                stream_id: (
+                    await server._dispatch(
+                        {"op": "factors", "stream": stream_id}
+                    )
+                )["factors"]
+                for stream_id in streams
+            }
+            await server.stop()
+            return ingest_seconds, n_events, checkpoint_seconds, query_latencies, factors
+
+        ingest_seconds, n_events, checkpoint_seconds, query_latencies, factors = (
+            asyncio.run(scenario())
+        )
+
+        started = time.perf_counter()
+        recovered = ServiceManager(config)
+        report = recovered.recover()
+        recover_seconds = time.perf_counter() - started
+        assert report["failed"] == {}
+        assert len(report["recovered"]) == N_STREAMS
+
+    # Correctness guard: the service's concurrent result is bit-identical to
+    # a sequential single-tenant replay of the same chunks.
+    guard_id = "tenant-0"
+    reference = _sequential_factors(*streams[guard_id])
+    for served, expected in zip(factors[guard_id], reference):
+        assert np.array_equal(np.array(served), np.array(expected))
+
+    payload = {
+        "benchmark": "bench_service",
+        "workload": {
+            "n_streams": N_STREAMS,
+            "chunks_per_stream": len(next(iter(streams.values()))[1]),
+            "records_per_chunk": CHUNK_RECORDS,
+            "live_records_total": n_live_records,
+            "stream_config": dict(
+                STREAM_KWARGS, mode_sizes=list(STREAM_KWARGS["mode_sizes"])
+            ),
+        },
+        "ingest": {
+            "seconds": ingest_seconds,
+            "records_per_second": n_live_records / ingest_seconds,
+            "events_applied": n_events,
+            "events_per_second": n_events / ingest_seconds,
+        },
+        "queries": {
+            "n": len(query_latencies),
+            "mean_seconds": statistics.fmean(query_latencies),
+            "p95_seconds": sorted(query_latencies)[
+                max(int(len(query_latencies) * 0.95) - 1, 0)
+            ],
+        },
+        "durability": {
+            "checkpoint_all_seconds": checkpoint_seconds,
+            "recover_all_seconds": recover_seconds,
+        },
+        "concurrent_equals_sequential": True,
+    }
+    emit_json("BENCH_service", payload)
+    lines = [
+        f"streams: {N_STREAMS}, live records: {n_live_records}",
+        f"ingest: {payload['ingest']['records_per_second']:.0f} records/s, "
+        f"{payload['ingest']['events_per_second']:.0f} events/s "
+        f"(interleaved with {len(query_latencies)} queries)",
+        f"query latency: mean {payload['queries']['mean_seconds'] * 1e3:.2f} ms, "
+        f"p95 {payload['queries']['p95_seconds'] * 1e3:.2f} ms",
+        f"checkpoint all: {checkpoint_seconds * 1e3:.1f} ms, "
+        f"recover all: {recover_seconds * 1e3:.1f} ms",
+        "concurrent == sequential: bit-identical factors (guarded)",
+    ]
+    emit("BENCH_service", "\n".join(lines))

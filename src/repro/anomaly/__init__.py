@@ -9,10 +9,12 @@ maintains the running error statistics and the top-K scoreboard.
 
 from repro.anomaly.injection import InjectedAnomaly, inject_anomalies
 from repro.anomaly.detector import AnomalyScore, ZScoreDetector
+from repro.anomaly.scoring import score_batch
 
 __all__ = [
     "InjectedAnomaly",
     "inject_anomalies",
     "AnomalyScore",
     "ZScoreDetector",
+    "score_batch",
 ]

@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Mapping
+from typing import Any
+
+from repro.exceptions import CheckpointError
 
 Coordinate = tuple[int, ...]
 
@@ -115,6 +119,67 @@ class ZScoreDetector:
         delta = error - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (error - self._mean)
+
+    # ------------------------------------------------------------------
+    # Checkpoint state protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Full running state as a JSON-serializable dict.
+
+        Covers everything :meth:`observe` mutates — the observation count,
+        the Welford mean/M2 accumulators (float repr round-trips exactly
+        through JSON), the warm-up threshold, and every recorded score —
+        so a detector restored with :meth:`from_state` continues on the
+        exact same score stream as an uninterrupted one.  Streaming-run
+        checkpoints store this in their ``extra`` payload.
+        """
+        return {
+            "warmup": self._warmup,
+            "count": self._count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "scores": [
+                {
+                    "coordinate": list(score.coordinate),
+                    "z_score": score.z_score,
+                    "error": score.error,
+                    "event_time": score.event_time,
+                    "detection_time": score.detection_time,
+                    "is_warmup": score.is_warmup,
+                }
+                for score in self._scores
+            ],
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore the running state saved by :meth:`state_dict`."""
+        try:
+            self._warmup = max(int(state["warmup"]), 1)
+            self._count = int(state["count"])
+            self._mean = float(state["mean"])
+            self._m2 = float(state["m2"])
+            self._scores = [
+                AnomalyScore(
+                    coordinate=tuple(int(i) for i in entry["coordinate"]),
+                    z_score=float(entry["z_score"]),
+                    error=float(entry["error"]),
+                    event_time=float(entry["event_time"]),
+                    detection_time=float(entry["detection_time"]),
+                    is_warmup=bool(entry.get("is_warmup", False)),
+                )
+                for entry in state["scores"]
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"detector state payload is unreadable: {error}"
+            ) from error
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ZScoreDetector":
+        """Build a detector whose state continues the saved run exactly."""
+        detector = cls()
+        detector.load_state(state)
+        return detector
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -8,6 +8,10 @@ Examples
     python -m repro.cli fig5 --max-events 1500
     python -m repro.cli table2
     slicenstitch fig9 --dataset nyc_taxi
+    slicenstitch serve --port 7342 --checkpoint-root ./state
+
+``serve`` starts the multi-tenant streaming service
+(:mod:`repro.service`); every other subcommand reproduces one experiment.
 """
 
 from __future__ import annotations
@@ -164,7 +168,17 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
 
 
 def run(argv: Sequence[str] | None = None) -> str:
-    """Run the selected experiment and return its text report."""
+    """Run the selected experiment and return its text report.
+
+    The ``serve`` subcommand is special: it starts the streaming service
+    (which blocks until shutdown) and returns an empty report.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        from repro.service.cli import main as serve_main
+
+        serve_main(argv[1:])
+        return ""
     args = build_parser().parse_args(argv)
     if args.experiment == "fig1":
         return format_granularity(run_granularity(_settings(args)))

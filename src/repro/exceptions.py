@@ -50,3 +50,37 @@ class TimerError(ReproError, RuntimeError):
 
 class WorkerError(ReproError, RuntimeError):
     """A parallel experiment worker failed beyond the configured retry budget."""
+
+
+class CheckpointError(ConfigurationError):
+    """A checkpoint / snapshot directory is missing pieces, truncated, or corrupt.
+
+    Subclasses :class:`ConfigurationError` so existing ``except
+    ConfigurationError`` handlers around the load paths keep working; the
+    narrower type lets a service's background checkpoint reader distinguish
+    "this directory is damaged" (skip / rewrite it) from "you called the API
+    wrong".
+    """
+
+
+class ConcurrentIterationError(ReproError, RuntimeError):
+    """A second ``events()`` / ``iter_batches()`` iteration was started while
+    one is already active on the same processor.
+
+    Concurrent iteration would interleave two drains of the same scheduler
+    heap and corrupt its state; callers must exhaust (or close) the active
+    iterator first.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A streaming-service request could not be honoured.
+
+    Carries a machine-readable ``code`` (e.g. ``"unknown_stream"``,
+    ``"overloaded"``, ``"stream_cap"``, ``"conflict"``) so the wire protocol
+    can map errors onto structured responses.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = str(code)

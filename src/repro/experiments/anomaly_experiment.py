@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
 from repro.anomaly.detector import ZScoreDetector
 from repro.anomaly.injection import InjectedAnomaly, inject_anomalies
+from repro.anomaly.scoring import score_batch
 from repro.baselines.base import BaselineConfig
 from repro.baselines.registry import create_baseline
 from repro.core.base import SNSConfig
@@ -32,7 +34,8 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import method_kind, method_label
 from repro.data.generators import generate_dataset
-from repro.exceptions import DataGenerationError
+from repro.exceptions import ConfigurationError, DataGenerationError
+from repro.stream.checkpoint import is_checkpoint, restore_run
 from repro.stream.events import EventKind
 from repro.stream.processor import ContinuousStreamProcessor
 from repro.stream.window import WindowConfig
@@ -74,8 +77,35 @@ def run_anomaly_experiment(
     ``replay_periods - 1`` of them, so every anomaly arrives while the
     methods are streaming and at least one period boundary follows it (the
     per-period baselines can only detect at boundaries).
+
+    Checkpointing (continuous methods only — the per-period baselines carry
+    no checkpointable state): with ``settings.checkpoint_dir`` set, each
+    continuous method's run state *including the detector's running
+    statistics and recorded scores* is saved under
+    ``<checkpoint_dir>/anomaly-<method>`` every ``settings.checkpoint_events``
+    events and at the end of the run.  With ``settings.resume=True`` an
+    existing checkpoint there is restored and the replay continues — the
+    resumed run emits the identical score stream (and hence identical
+    precision@k / detection delays) as an uninterrupted one, on both the
+    per-event and the batched engine.
+
+    With ``settings.batched=True`` continuous methods are replayed through
+    the batched engine (:func:`repro.anomaly.score_batch`): observed values
+    stay exact per event, predictions use batch-start factors, and the
+    model adapts once per batch.
     """
     settings = settings or ExperimentSettings(dataset="nyc_taxi")
+    if settings.checkpoint_events is not None and settings.checkpoint_events <= 0:
+        raise ConfigurationError(
+            f"checkpoint_events must be positive, got {settings.checkpoint_events}"
+        )
+    if settings.checkpoint_dir is None and (
+        settings.checkpoint_events is not None or settings.resume
+    ):
+        raise ConfigurationError(
+            "checkpoint_events/resume require checkpoint_dir — without it "
+            "no checkpoint is ever written or read"
+        )
     top_k = n_anomalies if top_k is None else top_k
     clean_stream, spec = generate_dataset(settings.dataset, scale=settings.scale)
     window_config = WindowConfig(
@@ -168,28 +198,97 @@ def _run_continuous(
     settings: ExperimentSettings,
     replay_end: float,
 ) -> ZScoreDetector:
-    processor = ContinuousStreamProcessor(
-        stream, window_config, start_time=stream.start_time + window_config.span
+    config = SNSConfig(
+        rank=spec.rank,
+        theta=spec.theta,
+        eta=spec.eta,
+        seed=settings.seed,
+        sampling=settings.sampling,
     )
-    model = create_algorithm(
-        method,
-        SNSConfig(rank=spec.rank, theta=spec.theta, eta=spec.eta, seed=settings.seed),
-    )
-    model.initialize(processor.window, initial)
+    checkpoint_path: Path | None = None
+    if settings.checkpoint_dir is not None:
+        # Prefixed so an anomaly run can share a checkpoint directory with a
+        # fitness run of the same method without clobbering it.
+        checkpoint_path = Path(settings.checkpoint_dir) / f"anomaly-{method}"
+
     detector = ZScoreDetector()
-    for event, delta in processor.events(end_time=replay_end):
-        if event.kind is EventKind.ARRIVAL:
-            coordinate = delta.entries[0][0]
-            observed = processor.window.tensor.get(coordinate)
-            predicted = model.reconstruction_at(coordinate)
-            # Score before adapting, so the anomaly cannot hide itself.
-            detector.observe(
-                coordinate=coordinate,
-                error=observed - predicted,
-                event_time=event.record.time,
-                detection_time=event.time,
+    model = None
+    n_events = 0
+    if (
+        checkpoint_path is not None
+        and settings.resume
+        and is_checkpoint(checkpoint_path)
+    ):
+        processor, model, saved = restore_run(checkpoint_path)
+        if model is None or model.name != method:
+            raise ConfigurationError(
+                f"checkpoint at {checkpoint_path} does not hold a "
+                f"{method!r} model"
             )
-        model.update(delta)
+        if dataclasses.asdict(config) != dataclasses.asdict(model.config):
+            raise ConfigurationError(
+                f"checkpoint at {checkpoint_path} was taken with different "
+                "hyper-parameters; rerun with the original settings or start "
+                "a fresh checkpoint directory"
+            )
+        saved = saved or {}
+        n_events = int(saved.get("n_events", 0))
+        if "detector" in saved:
+            detector = ZScoreDetector.from_state(saved["detector"])
+    else:
+        processor = ContinuousStreamProcessor(
+            stream, window_config, start_time=stream.start_time + window_config.span
+        )
+    if model is None:
+        model = create_algorithm(method, config)
+        model.initialize(processor.window, initial)
+
+    def save_state() -> None:
+        # The detector's running statistics and full score list ride in the
+        # checkpoint's extra payload, so a resumed run continues the exact
+        # score stream of an uninterrupted one.
+        processor.save_checkpoint(
+            checkpoint_path,
+            model=model,
+            extra={"n_events": n_events, "detector": detector.state_dict()},
+        )
+
+    checkpoint_events = settings.checkpoint_events
+    next_save = None
+    if checkpoint_path is not None and checkpoint_events is not None:
+        next_save = (n_events // checkpoint_events + 1) * checkpoint_events
+
+    if settings.batched:
+        for batch in processor.iter_batches(end_time=replay_end):
+            score_batch(model, batch, detector)
+            n_events += batch.n_events
+            if next_save is not None and n_events >= next_save:
+                save_state()
+                next_save = (
+                    n_events // checkpoint_events + 1
+                ) * checkpoint_events
+    else:
+        for event, delta in processor.events(end_time=replay_end):
+            n_events += 1
+            if event.kind is EventKind.ARRIVAL:
+                coordinate = delta.entries[0][0]
+                observed = processor.window.tensor.get(coordinate)
+                predicted = model.reconstruction_at(coordinate)
+                # Score before adapting, so the anomaly cannot hide itself.
+                detector.observe(
+                    coordinate=coordinate,
+                    error=observed - predicted,
+                    event_time=event.record.time,
+                    detection_time=event.time,
+                )
+            model.update(delta)
+            if next_save is not None and n_events >= next_save:
+                save_state()
+                next_save = (
+                    n_events // checkpoint_events + 1
+                ) * checkpoint_events
+    if checkpoint_path is not None:
+        save_state()
     return detector
 
 

@@ -1,0 +1,36 @@
+"""Multi-tenant streaming decomposition service.
+
+Serves many independent tensor streams at once, each with live SliceNStitch
+factor maintenance, over a line-delimited JSON TCP protocol:
+
+* :mod:`repro.service.config` — per-stream and service-wide configuration;
+* :mod:`repro.service.session` — the synchronous per-stream state machine
+  (buffer → live, exact chunk application, anomaly scoring, durability);
+* :mod:`repro.service.manager` — multi-tenancy: admission, lookup, recovery;
+* :mod:`repro.service.server` — the asyncio front-end (bounded per-stream
+  queues with explicit overload responses, atomic-snapshot queries,
+  background checkpoints);
+* :mod:`repro.service.client` — a thin blocking client;
+* :mod:`repro.service.cli` — the ``repro serve`` entry point.
+
+Determinism: each stream's factor and detector state is a pure function of
+its config and the sequence of ingest chunks applied, so concurrent
+multi-tenant operation is bit-identical to replaying each stream alone.
+"""
+
+from repro.service.config import ServiceConfig, StreamConfig
+from repro.service.telemetry import StreamTelemetry
+from repro.service.session import StreamSession
+from repro.service.manager import ServiceManager
+from repro.service.server import StreamingServer
+from repro.service.client import ServiceClient
+
+__all__ = [
+    "ServiceConfig",
+    "StreamConfig",
+    "StreamTelemetry",
+    "StreamSession",
+    "ServiceManager",
+    "StreamingServer",
+    "ServiceClient",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — run the streaming service."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

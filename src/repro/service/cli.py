@@ -1,0 +1,119 @@
+"""``repro serve`` / ``python -m repro.service`` — run the streaming service.
+
+Prints ``listening on <host>:<port>`` once the socket is bound (with the
+resolved port, so ``--port 0`` is scriptable), then serves until SIGINT /
+SIGTERM or a client ``shutdown`` op.  Shutdown is graceful: queues drain and
+every stream is checkpointed before the process exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+from collections.abc import Sequence
+
+from repro.service.config import ServiceConfig
+from repro.service.manager import ServiceManager
+from repro.service.server import StreamingServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="slicenstitch serve",
+        description=(
+            "Serve many independent tensor streams with live SliceNStitch "
+            "factor maintenance over a line-delimited JSON TCP protocol."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7342, help="TCP port (0 = pick a free one)"
+    )
+    parser.add_argument(
+        "--max-streams",
+        type=int,
+        default=64,
+        help="admission cap on concurrently registered streams",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help=(
+            "per-stream ingest queue bound; a full queue rejects further "
+            "ingests with an 'overloaded' response (backpressure)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-root",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory of durable per-stream state; streams found there are "
+            "recovered on startup, and all streams are checkpointed there "
+            "on shutdown"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --checkpoint-root: checkpoint a stream whenever N events "
+            "have been applied since its last checkpoint"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "with --checkpoint-root: background sweep checkpointing every "
+            "stream this often (0 disables)"
+        ),
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    manager = ServiceManager(
+        ServiceConfig(
+            max_streams=args.max_streams,
+            queue_limit=args.queue_limit,
+            checkpoint_root=args.checkpoint_root,
+            checkpoint_events=args.checkpoint_events,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    )
+    server = StreamingServer(manager, host=args.host, port=args.port)
+    host, port = await server.start()
+    recovered = manager.stream_ids
+    if recovered:
+        print(f"recovered {len(recovered)} stream(s): {', '.join(recovered)}")
+    print(f"listening on {host}:{port}", flush=True)
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, server.request_shutdown)
+    await server.serve_until_shutdown()
+    print("server stopped", flush=True)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point for the service."""
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Thin blocking client for the streaming service.
+
+One TCP connection, one request line per call, one response line back.
+Errors come back as :class:`~repro.exceptions.ServiceError` carrying the
+server's machine-readable code, so callers can branch on ``overloaded``
+versus ``unknown_stream`` without parsing messages.
+
+Example
+-------
+::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7342) as client:
+        client.create_stream("taxi", mode_sizes=[20, 20], window_length=5,
+                             period=3600.0, rank=5)
+        client.ingest("taxi", [[[2, 5], 1.0, 1800.0], [[3, 1], 2.0, 5400.0]])
+        client.start_stream("taxi")
+        print(client.fitness("taxi"))
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import MAX_REQUEST_BYTES, encode_message
+
+
+class ServiceClient:
+    """Blocking line-delimited JSON client."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7342, timeout: float = 60.0
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and return the response payload.
+
+        Raises :class:`ServiceError` (with the server's error code) when the
+        response is not ok.
+        """
+        self._socket.sendall(encode_message({"op": op, **fields}))
+        line = self._reader.readline(MAX_REQUEST_BYTES + 1024)
+        if not line:
+            raise ServiceError(
+                "internal", "the server closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                "internal", f"unparseable server response: {error}"
+            ) from error
+        if not isinstance(response, dict):
+            raise ServiceError("internal", "malformed server response")
+        if not response.get("ok"):
+            raise ServiceError(
+                str(response.get("error", "internal")),
+                str(response.get("message", "request failed")),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        """Liveness check."""
+        return self.request("ping")
+
+    def create_stream(self, stream: str, **config: Any) -> dict[str, Any]:
+        """Admit a new stream; ``config`` holds the StreamConfig fields."""
+        return self.request("create_stream", stream=stream, config=config)
+
+    def ingest(self, stream: str, records: list[Any]) -> dict[str, Any]:
+        """Enqueue one chunk of ``[indices, value, time]`` records."""
+        return self.request("ingest", stream=stream, records=records)
+
+    def start_stream(
+        self, stream: str, start_time: float | None = None
+    ) -> dict[str, Any]:
+        """Freeze the buffer into an initial window and go live."""
+        fields: dict[str, Any] = {"stream": stream}
+        if start_time is not None:
+            fields["start_time"] = start_time
+        return self.request("start_stream", **fields)
+
+    def flush(self, stream: str) -> dict[str, Any]:
+        """Barrier: wait until every queued chunk has been applied."""
+        return self.request("flush", stream=stream)
+
+    def advance(self, stream: str, time: float) -> dict[str, Any]:
+        """Advance stream time without data (shifts/expiries fire)."""
+        return self.request("advance", stream=stream, time=time)
+
+    def factors(self, stream: str) -> dict[str, Any]:
+        """Current factor matrices."""
+        return self.request("factors", stream=stream)
+
+    def fitness(self, stream: str) -> dict[str, Any]:
+        """Current window fitness."""
+        return self.request("fitness", stream=stream)
+
+    def anomalies(self, stream: str, k: int = 20) -> dict[str, Any]:
+        """Top-``k`` anomaly scoreboard."""
+        return self.request("anomalies", stream=stream, k=k)
+
+    def stats(self, stream: str) -> dict[str, Any]:
+        """Structural snapshot of one stream."""
+        return self.request("stats", stream=stream)
+
+    def telemetry(self, stream: str) -> dict[str, Any]:
+        """Lifetime telemetry counters of one stream."""
+        return self.request("telemetry", stream=stream)
+
+    def streams(self) -> dict[str, Any]:
+        """Summary of every stream."""
+        return self.request("streams")
+
+    def checkpoint(self, stream: str) -> dict[str, Any]:
+        """Write one stream's checkpoint now."""
+        return self.request("checkpoint", stream=stream)
+
+    def checkpoint_all(self) -> dict[str, Any]:
+        """Write every stream's checkpoint now."""
+        return self.request("checkpoint_all")
+
+    def drop_stream(
+        self, stream: str, delete_state: bool = False
+    ) -> dict[str, Any]:
+        """Forget a stream (optionally deleting its durable state)."""
+        return self.request(
+            "drop_stream", stream=stream, delete_state=delete_state
+        )
+
+    def shutdown(self) -> dict[str, Any]:
+        """Gracefully stop the server (checkpoints everything first)."""
+        return self.request("shutdown")

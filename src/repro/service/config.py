@@ -1,0 +1,178 @@
+"""Configuration objects for the multi-tenant streaming service.
+
+Two layers of configuration:
+
+* :class:`StreamConfig` — everything one tenant stream needs: the window
+  geometry (categorical mode sizes, ``W``, ``T``), the SliceNStitch variant
+  that maintains its factors, and the hyper-parameters of that variant.
+  Serialisable to/from plain JSON dicts so it can travel over the wire and
+  live in per-stream metadata files.
+* :class:`ServiceConfig` — service-wide knobs: the stream cap, the
+  per-stream ingest queue bound (backpressure), and the checkpoint policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.core.registry import ALGORITHMS
+from repro.exceptions import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Static description of one tenant stream.
+
+    Parameters
+    ----------
+    mode_sizes:
+        Sizes of the categorical modes (the time mode is implicit).
+    window_length:
+        Number of tensor units ``W`` in the sliding window.
+    period:
+        Unit period ``T`` in stream time units.
+    rank:
+        CP rank of the maintained decomposition.
+    method:
+        Registered SliceNStitch variant maintaining the factors.
+    theta, eta, regularization, nonnegative, sampling, seed:
+        Hyper-parameters forwarded to :class:`~repro.core.base.SNSConfig`.
+    als_iterations:
+        ALS sweeps used to initialise the factors when the stream starts.
+    detector_warmup:
+        Warm-up observations of the per-stream anomaly detector.
+    batch_window:
+        Batch grouping window for the live drain (``None`` = the period).
+    """
+
+    mode_sizes: tuple[int, ...]
+    window_length: int
+    period: float
+    rank: int
+    method: str = "sns_vec"
+    theta: int = 20
+    eta: float = 1000.0
+    regularization: float = 1e-12
+    nonnegative: bool = False
+    sampling: str = "vectorized"
+    seed: int = 0
+    als_iterations: int = 10
+    detector_warmup: int = 30
+    batch_window: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "mode_sizes", tuple(int(n) for n in self.mode_sizes)
+        )
+        if not self.mode_sizes or any(n <= 0 for n in self.mode_sizes):
+            raise ConfigurationError(
+                f"mode_sizes must be positive, got {self.mode_sizes}"
+            )
+        if self.window_length <= 0:
+            raise ConfigurationError(
+                f"window_length must be positive, got {self.window_length}"
+            )
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if self.rank <= 0:
+            raise ConfigurationError(f"rank must be positive, got {self.rank}")
+        if self.method not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown method {self.method!r}; choose one of "
+                f"{sorted(ALGORITHMS)}"
+            )
+        if self.als_iterations <= 0:
+            raise ConfigurationError(
+                f"als_iterations must be positive, got {self.als_iterations}"
+            )
+        if self.batch_window is not None and self.batch_window < 0:
+            raise ConfigurationError(
+                f"batch_window must be >= 0, got {self.batch_window}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-serialisable representation."""
+        payload = dataclasses.asdict(self)
+        payload["mode_sizes"] = list(self.mode_sizes)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StreamConfig":
+        """Rebuild from :meth:`to_dict` output (or a wire request).
+
+        Unknown keys raise :class:`ConfigurationError` rather than being
+        silently dropped — a typoed hyper-parameter must not produce a
+        stream with defaults the caller never asked for.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown stream config keys {unknown}; known keys: "
+                f"{sorted(known)}"
+            )
+        try:
+            return cls(**dict(payload))
+        except TypeError as error:
+            raise ConfigurationError(
+                f"invalid stream config: {error}"
+            ) from error
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Service-wide policy knobs.
+
+    Parameters
+    ----------
+    max_streams:
+        Admission cap: ``create_stream`` beyond this count is refused.
+    queue_limit:
+        Bound of each stream's ingest queue; a full queue makes further
+        ingests fail fast with an ``overloaded`` response (backpressure —
+        the records are *rejected*, never silently dropped).
+    checkpoint_root:
+        Directory holding one subdirectory of durable state per stream.
+        ``None`` disables persistence (queries and ingestion still work).
+    checkpoint_events:
+        Write a stream's checkpoint whenever this many events have been
+        applied since its last one.  ``None`` disables count-triggered
+        checkpoints.
+    checkpoint_interval:
+        Seconds between background checkpoint sweeps over all live streams.
+        ``0`` disables the sweep.
+    """
+
+    max_streams: int = 64
+    queue_limit: int = 64
+    checkpoint_root: str | Path | None = None
+    checkpoint_events: int | None = None
+    checkpoint_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_streams <= 0:
+            raise ConfigurationError(
+                f"max_streams must be positive, got {self.max_streams}"
+            )
+        if self.queue_limit <= 0:
+            raise ConfigurationError(
+                f"queue_limit must be positive, got {self.queue_limit}"
+            )
+        if self.checkpoint_events is not None and self.checkpoint_events <= 0:
+            raise ConfigurationError(
+                f"checkpoint_events must be positive, got {self.checkpoint_events}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
+            )
+
+    @property
+    def root_path(self) -> Path | None:
+        """``checkpoint_root`` as a :class:`~pathlib.Path` (or ``None``)."""
+        if self.checkpoint_root is None:
+            return None
+        return Path(self.checkpoint_root)

@@ -1,0 +1,177 @@
+"""Multi-tenant stream registry: admission, lookup, durability, recovery.
+
+The :class:`ServiceManager` owns every :class:`~repro.service.session.StreamSession`
+of a running service.  It enforces the stream cap, maps stream ids to
+filesystem directories under the checkpoint root, persists/recovers sessions,
+and reports service-wide state.  Like the sessions it holds, the manager is
+synchronous and single-threaded by contract — the async layer serialises
+calls into it.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import CheckpointError, ConfigurationError, ServiceError
+from repro.service.config import ServiceConfig, StreamConfig
+from repro.service.session import StreamSession
+
+#: Stream ids double as directory names, so keep them filesystem-safe.
+_STREAM_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+class ServiceManager:
+    """Registry and lifecycle manager for all tenant streams."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self._sessions: dict[str, StreamSession] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def stream_ids(self) -> list[str]:
+        """Ids of every registered stream, in creation order."""
+        return list(self._sessions)
+
+    def get(self, stream_id: str) -> StreamSession:
+        """Session for ``stream_id``; ``unknown_stream`` error if absent."""
+        session = self._sessions.get(stream_id)
+        if session is None:
+            raise ServiceError(
+                "unknown_stream", f"no stream named {stream_id!r}"
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_stream(
+        self, stream_id: str, config: StreamConfig
+    ) -> StreamSession:
+        """Admit a new stream (buffering phase).
+
+        Refuses duplicates (``conflict``), malformed ids (``bad_request``),
+        and admissions beyond ``max_streams`` (``stream_cap``).
+        """
+        if not _STREAM_ID_PATTERN.match(str(stream_id)):
+            raise ServiceError(
+                "bad_request",
+                f"invalid stream id {stream_id!r}: use 1-128 characters "
+                "from [A-Za-z0-9._-], starting with a letter or digit",
+            )
+        if stream_id in self._sessions:
+            raise ServiceError(
+                "conflict", f"stream {stream_id!r} already exists"
+            )
+        if len(self._sessions) >= self.config.max_streams:
+            raise ServiceError(
+                "stream_cap",
+                f"stream cap reached ({self.config.max_streams}); drop a "
+                "stream or raise max_streams",
+            )
+        session = StreamSession(stream_id, config)
+        self._sessions[stream_id] = session
+        return session
+
+    def drop_stream(self, stream_id: str, delete_state: bool = False) -> None:
+        """Forget a stream; optionally delete its durable state too."""
+        self.get(stream_id)  # unknown_stream if absent
+        del self._sessions[stream_id]
+        if delete_state:
+            directory = self.stream_directory(stream_id)
+            if directory is not None and directory.exists():
+                shutil.rmtree(directory)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def stream_directory(self, stream_id: str) -> Path | None:
+        """Durable state directory of ``stream_id`` (``None`` = no root)."""
+        root = self.config.root_path
+        if root is None:
+            return None
+        return root / stream_id
+
+    def checkpoint_stream(self, stream_id: str) -> Path | None:
+        """Persist one stream; returns its directory (``None`` = no root)."""
+        session = self.get(stream_id)
+        directory = self.stream_directory(stream_id)
+        if directory is None:
+            return None
+        return session.save(directory)
+
+    def checkpoint_all(self) -> list[str]:
+        """Persist every stream; returns the ids actually written."""
+        if self.config.root_path is None:
+            return []
+        written = []
+        for stream_id in self.stream_ids:
+            self.checkpoint_stream(stream_id)
+            written.append(stream_id)
+        return written
+
+    def recover(self) -> dict[str, Any]:
+        """Rebuild every stream found under the checkpoint root.
+
+        Damaged directories are reported, not fatal: one corrupt stream must
+        not keep the other tenants down.  Returns
+        ``{"recovered": [ids...], "failed": {id: reason, ...}}``.
+        """
+        root = self.config.root_path
+        report: dict[str, Any] = {"recovered": [], "failed": {}}
+        if root is None or not root.is_dir():
+            return report
+        for directory in sorted(root.iterdir()):
+            if not directory.is_dir():
+                continue
+            stream_id = directory.name
+            if stream_id in self._sessions:
+                continue
+            if len(self._sessions) >= self.config.max_streams:
+                report["failed"][stream_id] = (
+                    f"stream cap reached ({self.config.max_streams})"
+                )
+                continue
+            try:
+                session = StreamSession.load(directory)
+            except (CheckpointError, ConfigurationError) as error:
+                report["failed"][stream_id] = str(error)
+                continue
+            if session.stream_id != stream_id:
+                report["failed"][stream_id] = (
+                    f"directory name {stream_id!r} does not match the saved "
+                    f"stream id {session.stream_id!r}"
+                )
+                continue
+            self._sessions[stream_id] = session
+            report["recovered"].append(stream_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> list[dict[str, Any]]:
+        """One summary row per stream (id, phase, clock, backlog counters)."""
+        return [
+            {
+                "stream": stream_id,
+                "phase": session.phase,
+                "clock": (
+                    None if session.clock == float("-inf") else session.clock
+                ),
+                "records_ingested": session.telemetry.records_ingested,
+                "events_applied": session.telemetry.events_applied,
+            }
+            for stream_id, session in self._sessions.items()
+        ]

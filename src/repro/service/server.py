@@ -1,0 +1,417 @@
+"""Asyncio front-end of the multi-tenant streaming service.
+
+Concurrency model
+-----------------
+* One bounded :class:`asyncio.Queue` and one worker task per stream.  An
+  ``ingest`` (or ``advance``) request enqueues one work item and returns
+  immediately; a full queue is an explicit ``overloaded`` response — the
+  chunk is *rejected*, never silently dropped, and the client owns the
+  retry.  The worker applies items strictly in arrival order, so each
+  stream's state is a deterministic function of its chunk sequence no
+  matter how many streams run concurrently.
+* One :class:`asyncio.Lock` per stream guards every touch of its session.
+  The worker holds it across a whole chunk application and queries hold it
+  across their read, so a query observes either the pre-chunk or the
+  post-chunk state — never a half-applied batch (atomic snapshots).
+* The numeric work itself runs in worker threads (``asyncio.to_thread``),
+  keeping the event loop responsive while numpy grinds.
+
+Durability: checkpoints are written by the stream's own worker once
+``checkpoint_events`` events have accumulated, by a periodic background
+sweep (``checkpoint_interval``), on explicit ``checkpoint`` ops, and on
+graceful shutdown — always under the stream lock, so every checkpoint is a
+consistent between-chunks snapshot.
+
+Deferred errors: because ingestion is acknowledged before it is applied, an
+out-of-order chunk fails *after* its response was sent.  Such failures are
+kept per stream and surfaced on the next ``flush`` / ``telemetry`` response
+instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.manager import ServiceManager
+from repro.service.protocol import (
+    MAX_REQUEST_BYTES,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_records,
+)
+
+
+class _StreamWorker:
+    """Queue + lock + apply-loop of one stream."""
+
+    def __init__(self, server: "StreamingServer", stream_id: str) -> None:
+        self.stream_id = stream_id
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=server.manager.config.queue_limit
+        )
+        self.lock = asyncio.Lock()
+        self.deferred_errors: list[str] = []
+        self._server = server
+        self._task: asyncio.Task | None = None
+
+    def ensure_running(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    def take_deferred_errors(self) -> list[str]:
+        errors, self.deferred_errors = self.deferred_errors, []
+        return errors
+
+    async def _run(self) -> None:
+        manager = self._server.manager
+        checkpoint_events = manager.config.checkpoint_events
+        while True:
+            kind, payload = await self.queue.get()
+            try:
+                session = manager.get(self.stream_id)
+                async with self.lock:
+                    if kind == "ingest":
+                        await asyncio.to_thread(session.ingest, payload)
+                    else:  # "advance"
+                        await asyncio.to_thread(session.advance, payload)
+                    if (
+                        checkpoint_events is not None
+                        and session.telemetry.events_since_checkpoint
+                        >= checkpoint_events
+                    ):
+                        await asyncio.to_thread(
+                            manager.checkpoint_stream, self.stream_id
+                        )
+            except asyncio.CancelledError:
+                raise
+            except ServiceError as error:
+                self.deferred_errors.append(f"{error.code}: {error}")
+            except Exception as error:  # keep the worker alive
+                self.deferred_errors.append(f"internal: {error!r}")
+            finally:
+                self.queue.task_done()
+
+
+class StreamingServer:
+    """Line-delimited JSON TCP server over a :class:`ServiceManager`."""
+
+    def __init__(
+        self,
+        manager: ServiceManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        # Not `manager or ...`: an empty manager has __len__ == 0 and would
+        # be discarded as falsy.
+        self.manager = (
+            manager if manager is not None else ServiceManager(ServiceConfig())
+        )
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._workers: dict[str, _StreamWorker] = {}
+        self._checkpoint_task: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Resolved ``(host, port)`` once the server is started."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("conflict", "the server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Recover persisted streams and start accepting connections."""
+        self.manager.recover()
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.host,
+            port=self.port,
+            limit=MAX_REQUEST_BYTES + 1024,
+        )
+        interval = self.manager.config.checkpoint_interval
+        if interval > 0 and self.manager.config.root_path is not None:
+            self._checkpoint_task = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop(interval)
+            )
+        return self.address
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (signal handlers call this)."""
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        """Graceful stop: drain queues, checkpoint everything, close."""
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
+            self._checkpoint_task = None
+        for worker in self._workers.values():
+            await worker.queue.join()
+            await worker.stop()
+        await asyncio.to_thread(self.manager.checkpoint_all)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _checkpoint_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            for stream_id in self.manager.stream_ids:
+                worker = self._workers.get(stream_id)
+                if worker is None:
+                    await asyncio.to_thread(
+                        self.manager.checkpoint_stream, stream_id
+                    )
+                    continue
+                async with worker.lock:
+                    await asyncio.to_thread(
+                        self.manager.checkpoint_stream, stream_id
+                    )
+
+    # ------------------------------------------------------------------
+    # Per-stream plumbing
+    # ------------------------------------------------------------------
+    def _worker(self, stream_id: str) -> _StreamWorker:
+        """Worker for an *existing* stream (``unknown_stream`` otherwise)."""
+        self.manager.get(stream_id)  # raises unknown_stream
+        worker = self._workers.get(stream_id)
+        if worker is None:
+            worker = _StreamWorker(self, stream_id)
+            self._workers[stream_id] = worker
+        worker.ensure_running()
+        return worker
+
+    @staticmethod
+    def _require(request: dict[str, Any], key: str) -> Any:
+        value = request.get(key)
+        if value is None:
+            raise ServiceError(
+                "bad_request", f'the {request["op"]!r} op needs a {key!r} field'
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                "bad_request",
+                                "request line too long; closing connection",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch_safely(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if response.get("shutdown"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch_safely(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = decode_request(line)
+            return await self._dispatch(request)
+        except ServiceError as error:
+            return error_response(error.code, str(error))
+        except ReproError as error:
+            return error_response("bad_request", str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            return error_response("internal", repr(error))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request["op"]
+        if op == "ping":
+            return ok_response(pong=True, streams=len(self.manager))
+        if op == "streams":
+            rows = self.manager.describe()
+            for row in rows:
+                worker = self._workers.get(row["stream"])
+                row["queue_depth"] = worker.queue.qsize() if worker else 0
+            return ok_response(streams=rows)
+        if op == "create_stream":
+            return await self._op_create(request)
+        if op == "checkpoint_all":
+            written = []
+            for stream_id in self.manager.stream_ids:
+                worker = self._worker(stream_id)
+                async with worker.lock:
+                    await asyncio.to_thread(
+                        self.manager.checkpoint_stream, stream_id
+                    )
+                written.append(stream_id)
+            return ok_response(checkpointed=written)
+        if op == "shutdown":
+            return ok_response(shutdown=True)
+
+        # Everything below addresses one existing stream.
+        stream_id = str(self._require(request, "stream"))
+        if op == "ingest":
+            return self._op_ingest(stream_id, request)
+        if op == "advance":
+            return self._op_advance(stream_id, request)
+        worker = self._worker(stream_id)
+        session = self.manager.get(stream_id)
+        if op == "start_stream":
+            await worker.queue.join()  # buffered ingests land first
+            async with worker.lock:
+                result = await asyncio.to_thread(
+                    session.start, request.get("start_time")
+                )
+            return ok_response(**result)
+        if op == "flush":
+            await worker.queue.join()
+            return ok_response(
+                clock=None if session.clock == float("-inf") else session.clock,
+                events_applied=session.telemetry.events_applied,
+                deferred_errors=worker.take_deferred_errors(),
+            )
+        if op == "factors":
+            async with worker.lock:
+                return ok_response(
+                    **await asyncio.to_thread(session.factors)
+                )
+        if op == "fitness":
+            async with worker.lock:
+                return ok_response(
+                    **await asyncio.to_thread(session.fitness)
+                )
+        if op == "anomalies":
+            k = int(request.get("k", 20))
+            async with worker.lock:
+                return ok_response(
+                    **await asyncio.to_thread(session.anomalies, k)
+                )
+        if op == "stats":
+            async with worker.lock:
+                return ok_response(**await asyncio.to_thread(session.stats))
+        if op == "telemetry":
+            async with worker.lock:
+                payload = await asyncio.to_thread(session.telemetry_snapshot)
+            payload["queue_depth"] = worker.queue.qsize()
+            return ok_response(
+                telemetry=payload,
+                deferred_errors=list(worker.deferred_errors),
+            )
+        if op == "checkpoint":
+            async with worker.lock:
+                path = await asyncio.to_thread(
+                    self.manager.checkpoint_stream, stream_id
+                )
+            return ok_response(path=None if path is None else str(path))
+        if op == "drop_stream":
+            await worker.queue.join()
+            await worker.stop()
+            self._workers.pop(stream_id, None)
+            await asyncio.to_thread(
+                self.manager.drop_stream,
+                stream_id,
+                bool(request.get("delete_state", False)),
+            )
+            return ok_response(dropped=stream_id)
+        raise ServiceError("bad_request", f"unknown op {op!r}")
+
+    async def _op_create(self, request: dict[str, Any]) -> dict[str, Any]:
+        from repro.service.config import StreamConfig
+
+        stream_id = str(self._require(request, "stream"))
+        config = StreamConfig.from_dict(self._require(request, "config"))
+        session = self.manager.create_stream(stream_id, config)
+        self._worker(stream_id)
+        return ok_response(stream=stream_id, phase=session.phase)
+
+    def _op_ingest(
+        self, stream_id: str, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        worker = self._worker(stream_id)
+        session = self.manager.get(stream_id)
+        records = parse_records(self._require(request, "records"))
+        try:
+            worker.queue.put_nowait(("ingest", records))
+        except asyncio.QueueFull:
+            session.telemetry.overload_rejections += 1
+            raise ServiceError(
+                "overloaded",
+                f"stream {stream_id!r}'s ingest queue is full "
+                f"({worker.queue.maxsize} chunks); retry after a flush",
+            ) from None
+        return ok_response(queued=len(records), depth=worker.queue.qsize())
+
+    def _op_advance(
+        self, stream_id: str, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        worker = self._worker(stream_id)
+        session = self.manager.get(stream_id)
+        to_time = float(self._require(request, "time"))
+        try:
+            worker.queue.put_nowait(("advance", to_time))
+        except asyncio.QueueFull:
+            session.telemetry.overload_rejections += 1
+            raise ServiceError(
+                "overloaded",
+                f"stream {stream_id!r}'s ingest queue is full "
+                f"({worker.queue.maxsize} chunks); retry after a flush",
+            ) from None
+        return ok_response(depth=worker.queue.qsize())
+
+
+async def serve(
+    manager: ServiceManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: "asyncio.Future | None" = None,
+) -> None:
+    """Start a server, announce its address, and run until shutdown."""
+    server = StreamingServer(manager, host=host, port=port)
+    address = await server.start()
+    if ready is not None and not ready.done():
+        ready.set_result(address)
+    await server.serve_until_shutdown()

@@ -1,0 +1,87 @@
+"""Per-stream telemetry counters.
+
+Every mutation of a stream bumps counters here; the ``telemetry`` wire op
+returns them verbatim.  Counters are plain numbers (JSON-serialisable), ride
+along in checkpoint ``extra`` payloads, and survive restarts — a recovered
+stream reports lifetime totals, not totals-since-restart.
+
+Timings are wall-clock observability data, *not* part of the deterministic
+stream state: two runs with identical factor state may report different
+``apply_seconds``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping
+from typing import Any
+
+
+@dataclasses.dataclass(slots=True)
+class StreamTelemetry:
+    """Lifetime counters and stage timings of one stream."""
+
+    #: Stream records accepted by ``ingest`` (buffered or applied).
+    records_ingested: int = 0
+    #: Ingest chunks applied to the live processor.
+    chunks_applied: int = 0
+    #: Window events (arrival/shift/expiry) applied.
+    events_applied: int = 0
+    #: Delta batches handed to the model.
+    batches_applied: int = 0
+    #: Read queries served (factors / fitness / anomalies / stats).
+    queries_served: int = 0
+    #: Ingest requests refused because the stream's queue was full.
+    overload_rejections: int = 0
+    #: Checkpoints written for this stream.
+    checkpoints_written: int = 0
+    #: Events applied since the last checkpoint (drives count-triggered saves).
+    events_since_checkpoint: int = 0
+    #: Unix time of the last checkpoint write (0.0 = never).
+    last_checkpoint_time: float = 0.0
+    #: Cumulative seconds spent applying chunks (extend + drain + score).
+    apply_seconds: float = 0.0
+    #: Cumulative seconds spent serving read queries.
+    query_seconds: float = 0.0
+
+    def record_apply(
+        self, n_records: int, n_events: int, n_batches: int, seconds: float
+    ) -> None:
+        """Account one applied ingest chunk."""
+        self.chunks_applied += 1
+        self.records_ingested += int(n_records)
+        self.events_applied += int(n_events)
+        self.batches_applied += int(n_batches)
+        self.events_since_checkpoint += int(n_events)
+        self.apply_seconds += float(seconds)
+
+    def record_query(self, seconds: float) -> None:
+        """Account one served read query."""
+        self.queries_served += 1
+        self.query_seconds += float(seconds)
+
+    def record_checkpoint(self) -> None:
+        """Account one written checkpoint and reset the since-counter."""
+        self.checkpoints_written += 1
+        self.events_since_checkpoint = 0
+        self.last_checkpoint_time = time.time()
+
+    @property
+    def checkpoint_age(self) -> float | None:
+        """Seconds since the last checkpoint, or ``None`` if never written."""
+        if self.last_checkpoint_time <= 0.0:
+            return None
+        return max(time.time() - self.last_checkpoint_time, 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot (includes the derived checkpoint age)."""
+        payload = dataclasses.asdict(self)
+        payload["checkpoint_age"] = self.checkpoint_age
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StreamTelemetry":
+        """Rebuild from a saved snapshot, ignoring derived/unknown keys."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: payload[key] for key in known if key in payload})

@@ -28,6 +28,7 @@ from repro.stream.checkpoint import (
     restore_processor,
     restore_run,
     save_checkpoint,
+    sweep_stale_sibling_dirs,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "restore_processor",
     "restore_run",
     "save_checkpoint",
+    "sweep_stale_sibling_dirs",
 ]

@@ -63,13 +63,13 @@ import dataclasses
 import json
 import os
 import shutil
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.stream.events import StreamRecord, WindowEvent
 from repro.stream.processor import ContinuousStreamProcessor
 from repro.stream.scheduler import EventScheduler, RawEvent
@@ -226,6 +226,9 @@ def save_checkpoint(
             "start_time": processor.start_time,
             "n_events_emitted": processor.n_events_emitted,
             "scheduler_sequence": sequence,
+            # Live-ingestion watermark (see ContinuousStreamProcessor.extend);
+            # absent in pre-service checkpoints, restored with a fallback.
+            "ingest_horizon": processor.ingest_horizon,
         },
         "model": None,
         "extra": extra,
@@ -236,6 +239,48 @@ def save_checkpoint(
     return _atomic_write_directory(path, manifest, arrays)
 
 
+def sweep_stale_sibling_dirs(path: str | Path) -> list[Path]:
+    """Remove stale ``<name>.tmp-*`` / ``<name>.old-*`` siblings of ``path``.
+
+    A process killed inside :func:`_atomic_write_directory` can leave behind
+    a half-written ``.tmp-<pid>`` directory, or — in the narrow window
+    between retiring the previous checkpoint and renaming the new one in — a
+    ``.old-<pid>`` directory holding the last good state while ``path``
+    itself is absent.  A long-running service's background checkpoint writer
+    makes both routine, so:
+
+    * when ``path`` is missing but a ``.old-*`` sibling is a complete
+      checkpoint, that sibling is renamed back to ``path`` (salvage);
+    * every remaining ``.tmp-*`` / ``.old-*`` sibling is deleted.
+
+    Returns the paths that were swept (deleted or salvaged).  Called
+    automatically before every atomic write; recovery scans call it
+    explicitly before probing :func:`is_checkpoint`.
+    """
+    path = Path(path)
+    swept: list[Path] = []
+    if not path.parent.is_dir():
+        return swept
+    stale = sorted(path.parent.glob(f"{path.name}.tmp-*")) + sorted(
+        path.parent.glob(f"{path.name}.old-*")
+    )
+    for sibling in stale:
+        if not sibling.is_dir():
+            continue
+        if (
+            not path.exists()
+            and sibling.name.startswith(f"{path.name}.old-")
+            and (sibling / MANIFEST_FILENAME).is_file()
+            and (sibling / ARRAYS_FILENAME).is_file()
+        ):
+            sibling.rename(path)
+            swept.append(sibling)
+            continue
+        shutil.rmtree(sibling, ignore_errors=True)
+        swept.append(sibling)
+    return swept
+
+
 def _atomic_write_directory(
     path: Path, manifest: dict[str, Any], arrays: dict[str, np.ndarray]
 ) -> Path:
@@ -243,8 +288,10 @@ def _atomic_write_directory(
 
     Crash-safe for the single-writer case: an interrupted write can never
     leave a manifest paired with mismatched arrays (see
-    :func:`save_checkpoint` for the full guarantee).
+    :func:`save_checkpoint` for the full guarantee).  Stale ``.tmp-*`` /
+    ``.old-*`` siblings left by a previously killed writer are swept first.
     """
+    sweep_stale_sibling_dirs(path)
     temp_dir = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     if temp_dir.exists():
         shutil.rmtree(temp_dir)
@@ -302,24 +349,119 @@ def _pack_model_state(
 # ----------------------------------------------------------------------
 # Load
 # ----------------------------------------------------------------------
+#: Arrays every checkpoint must carry regardless of whether a model was saved.
+_CHECKPOINT_ARRAY_KEYS = (
+    "window_indices",
+    "window_values",
+    "records_indices",
+    "records_values",
+    "records_times",
+    "heap_times",
+    "heap_sequences",
+    "heap_steps",
+    "heap_records",
+    "future_records",
+)
+
+
+def _check_complete_directory(path: Path, what: str) -> tuple[Path, Path]:
+    """Both files present -> their paths; one present -> CheckpointError."""
+    manifest_path = path / MANIFEST_FILENAME
+    arrays_path = path / ARRAYS_FILENAME
+    has_manifest = manifest_path.is_file()
+    has_arrays = arrays_path.is_file()
+    if not has_manifest and not has_arrays:
+        raise ConfigurationError(f"{path} is not a {what} directory")
+    if not (has_manifest and has_arrays):
+        missing = ARRAYS_FILENAME if has_manifest else MANIFEST_FILENAME
+        raise CheckpointError(
+            f"{what} at {path} is incomplete ({missing} is missing) — the "
+            "directory was truncated or partially written; delete it or "
+            "restore from an intact checkpoint"
+        )
+    return manifest_path, arrays_path
+
+
+def _read_manifest(manifest_path: Path, what: str) -> dict[str, Any]:
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"cannot read {what} manifest {manifest_path}: {error}"
+        ) from error
+    if not isinstance(manifest, dict):
+        raise CheckpointError(
+            f"{what} manifest {manifest_path} does not hold a JSON object"
+        )
+    return manifest
+
+
+def _read_arrays(arrays_path: Path, what: str) -> dict[str, np.ndarray]:
+    """Load the npz payload, mapping corruption onto :class:`CheckpointError`."""
+    try:
+        with np.load(arrays_path, allow_pickle=False) as payload:
+            return {key: payload[key] for key in payload.files}
+    except CheckpointError:
+        raise
+    except Exception as error:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise CheckpointError(
+            f"cannot read {what} arrays {arrays_path}: {error} — the file is "
+            "truncated or corrupt"
+        ) from error
+
+
+def _require_arrays(
+    arrays: Mapping[str, np.ndarray],
+    required: Sequence[str],
+    path: Path,
+    what: str,
+) -> None:
+    missing = [key for key in required if key not in arrays]
+    if missing:
+        raise CheckpointError(
+            f"{what} at {path} is missing required arrays {missing} — the "
+            "directory was truncated or written by an interrupted save"
+        )
+
+
+def _model_array_keys(model_manifest: Mapping[str, Any]) -> list[str]:
+    """Array keys a manifest's model section promises to find in the npz."""
+    keys: list[str] = []
+    try:
+        n_factors = int(model_manifest["n_factors"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint model metadata is unreadable: {error}"
+        ) from error
+    for mode in range(n_factors):
+        keys.append(f"model_factor_{mode}")
+        keys.append(f"model_gram_{mode}")
+    for key, spec in (model_manifest.get("aux_spec") or {}).items():
+        if not isinstance(spec, Mapping) or "kind" not in spec:
+            raise CheckpointError(
+                f"checkpoint model aux spec for {key!r} is unreadable"
+            )
+        if spec["kind"] == "list":
+            for position in range(int(spec.get("length", 0))):
+                keys.append(f"model_aux_{key}_{position}")
+        else:
+            keys.append(f"model_aux_{key}")
+    return keys
+
+
 def load_checkpoint(path: str | Path) -> StreamCheckpoint:
     """Read and validate a checkpoint directory.
 
     Raises :class:`ConfigurationError` when the directory is not a
-    checkpoint, the manifest is unreadable, or the format name / version does
-    not match this implementation.
+    checkpoint at all or the format name / version does not match this
+    implementation, and the narrower :class:`CheckpointError` when the
+    directory *is* a checkpoint but is truncated or corrupt (one file
+    missing, unreadable manifest, damaged npz, missing arrays) — the
+    routine failure modes of a background checkpoint writer killed mid-save.
     """
     path = Path(path)
-    manifest_path = path / MANIFEST_FILENAME
-    arrays_path = path / ARRAYS_FILENAME
-    if not manifest_path.is_file() or not arrays_path.is_file():
-        raise ConfigurationError(f"{path} is not a checkpoint directory")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
-        raise ConfigurationError(
-            f"cannot read checkpoint manifest {manifest_path}: {error}"
-        ) from error
+    manifest_path, arrays_path = _check_complete_directory(path, "checkpoint")
+    manifest = _read_manifest(manifest_path, "checkpoint")
     if manifest.get("format") != FORMAT_NAME:
         raise ConfigurationError(
             f"{manifest_path} is not a {FORMAT_NAME} manifest "
@@ -331,8 +473,18 @@ def load_checkpoint(path: str | Path) -> StreamCheckpoint:
             f"checkpoint format version {version!r} is not supported "
             f"(this implementation reads version {FORMAT_VERSION})"
         )
-    with np.load(arrays_path, allow_pickle=False) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+    for section in ("window", "processor"):
+        if not isinstance(manifest.get(section), dict):
+            raise CheckpointError(
+                f"checkpoint manifest {manifest_path} lacks its {section!r} "
+                "section — the manifest was truncated or hand-edited"
+            )
+    arrays = _read_arrays(arrays_path, "checkpoint")
+    required = list(_CHECKPOINT_ARRAY_KEYS)
+    model_manifest = manifest.get("model")
+    if model_manifest is not None:
+        required.extend(_model_array_keys(model_manifest))
+    _require_arrays(arrays, required, path, "checkpoint")
     return StreamCheckpoint(path=path, manifest=manifest, arrays=arrays)
 
 
@@ -384,6 +536,7 @@ def restore_processor(checkpoint: StreamCheckpoint) -> ContinuousStreamProcessor
     future_records = [
         records[record_id] for record_id in arrays["future_records"].tolist()
     ]
+    ingest_horizon = processor_manifest.get("ingest_horizon")
     return ContinuousStreamProcessor._restore(
         config=config,
         start_time=float(processor_manifest["start_time"]),
@@ -391,6 +544,9 @@ def restore_processor(checkpoint: StreamCheckpoint) -> ContinuousStreamProcessor
         scheduler=scheduler,
         future_records=future_records,
         n_events_emitted=int(processor_manifest["n_events_emitted"]),
+        ingest_horizon=(
+            None if ingest_horizon is None else float(ingest_horizon)
+        ),
     )
 
 
@@ -557,20 +713,19 @@ def save_experiment_snapshot(
 
 
 def load_experiment_snapshot(path: str | Path) -> ExperimentSnapshot:
-    """Rehydrate a snapshot written by :func:`save_experiment_snapshot`."""
+    """Rehydrate a snapshot written by :func:`save_experiment_snapshot`.
+
+    Corruption handling mirrors :func:`load_checkpoint`: a directory that is
+    recognisably a snapshot but truncated or damaged raises the narrower
+    :class:`CheckpointError` instead of a raw traceback.
+    """
     from repro.tensor.kruskal import KruskalTensor
 
     path = Path(path)
-    manifest_path = path / MANIFEST_FILENAME
-    arrays_path = path / ARRAYS_FILENAME
-    if not manifest_path.is_file() or not arrays_path.is_file():
-        raise ConfigurationError(f"{path} is not an experiment snapshot directory")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except (OSError, json.JSONDecodeError) as error:
-        raise ConfigurationError(
-            f"cannot read snapshot manifest {manifest_path}: {error}"
-        ) from error
+    manifest_path, arrays_path = _check_complete_directory(
+        path, "experiment snapshot"
+    )
+    manifest = _read_manifest(manifest_path, "experiment snapshot")
     if manifest.get("format") != SNAPSHOT_FORMAT_NAME:
         raise ConfigurationError(
             f"{manifest_path} is not a {SNAPSHOT_FORMAT_NAME} manifest "
@@ -582,8 +737,27 @@ def load_experiment_snapshot(path: str | Path) -> ExperimentSnapshot:
             f"snapshot format version {version!r} is not supported "
             f"(this implementation reads version {SNAPSHOT_FORMAT_VERSION})"
         )
-    with np.load(arrays_path, allow_pickle=False) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+    if not isinstance(manifest.get("window"), dict):
+        raise CheckpointError(
+            f"snapshot manifest {manifest_path} lacks its 'window' section — "
+            "the manifest was truncated or hand-edited"
+        )
+    arrays = _read_arrays(arrays_path, "experiment snapshot")
+    required = [
+        "records_indices",
+        "records_values",
+        "records_times",
+        "initial_weights",
+    ]
+    try:
+        n_factors = int(manifest["n_factors"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"snapshot manifest {manifest_path} has an unreadable "
+            f"'n_factors' entry: {error}"
+        ) from error
+    required.extend(f"initial_factor_{mode}" for mode in range(n_factors))
+    _require_arrays(arrays, required, path, "experiment snapshot")
     window_manifest = manifest["window"]
     window_config = WindowConfig(
         mode_sizes=tuple(window_manifest["mode_sizes"]),

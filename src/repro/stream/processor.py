@@ -33,11 +33,17 @@ the same per-event semantics (see ``tests/stream/test_batched_equivalence``).
 from __future__ import annotations
 
 import math
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConcurrentIterationError,
+    ConfigurationError,
+    IndexOutOfBoundsError,
+    ShapeError,
+    StreamOrderError,
+)
 from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.events import EventKind, StreamRecord, WindowEvent
 from repro.stream.scheduler import EventScheduler
@@ -92,12 +98,20 @@ class ContinuousStreamProcessor:
         self._scheduler = EventScheduler()
         self._n_events_emitted = 0
         self._future_records: list[StreamRecord] = []
+        self._iterating = False
         # Step -> event kind, precomputed once; both event paths use it.
         self._kind_by_step: tuple[EventKind, ...] = tuple(
             WindowEvent.kind_for_step(step, config.window_length)
             for step in range(config.window_length + 1)
         )
         self._bootstrap()
+        # Latest record time this processor has seen; extend() may only feed
+        # records at or after it (future records are newest-first).
+        self._ingest_horizon = (
+            self._future_records[0].time
+            if self._future_records
+            else self._start_time
+        )
 
     # ------------------------------------------------------------------
     # Properties
@@ -156,6 +170,74 @@ class ContinuousStreamProcessor:
             return next_arrival
         return min(next_scheduled, next_arrival)
 
+    @property
+    def ingest_horizon(self) -> float:
+        """Latest record time this processor has seen.
+
+        :meth:`extend` only accepts records at or after this time, and a
+        streaming service drains events up to it after every ingest (the
+        "watermark" of the live ingestion path).
+        """
+        return self._ingest_horizon
+
+    # ------------------------------------------------------------------
+    # Live ingestion
+    # ------------------------------------------------------------------
+    def extend(self, records: "Sequence[StreamRecord]") -> int:
+        """Feed new records into a live processor; return how many were added.
+
+        The service ingestion path: a processor normally replays a stream
+        fixed at construction time, but a long-running service keeps feeding
+        it events as they arrive.  ``records`` must be chronologically
+        ordered, start no earlier than :attr:`ingest_horizon` (ties with the
+        newest known record are allowed), lie strictly after
+        :attr:`start_time` (earlier records belong to the already-built
+        initial window), and match the window's categorical modes.  The new
+        arrivals become pending future records; nothing is applied until the
+        next :meth:`events` / :meth:`iter_batches` drain.
+        """
+        if self._iterating:
+            raise ConcurrentIterationError(
+                "cannot extend the processor while an events()/iter_batches() "
+                "iteration is active; exhaust or close the iterator first"
+            )
+        incoming = list(records)
+        if not incoming:
+            return 0
+        n_categorical = len(self._config.mode_sizes)
+        previous = self._ingest_horizon
+        for record in incoming:
+            if len(record.indices) != n_categorical:
+                raise ShapeError(
+                    f"record {record.indices} has {len(record.indices)} "
+                    f"categorical indices; the window has {n_categorical}"
+                )
+            for mode, (index, size) in enumerate(
+                zip(record.indices, self._config.mode_sizes)
+            ):
+                if not 0 <= index < size:
+                    raise IndexOutOfBoundsError(
+                        f"record index {index} exceeds size {size} of mode {mode}"
+                    )
+            if record.time <= self._start_time:
+                raise StreamOrderError(
+                    f"record at time {record.time} is not after the start "
+                    f"time {self._start_time}; it belongs to the initial "
+                    "window, which is already built"
+                )
+            if record.time < previous:
+                raise StreamOrderError(
+                    f"record at time {record.time} arrives before the "
+                    f"processor's ingest horizon {previous}; feed records "
+                    "chronologically"
+                )
+            previous = record.time
+        # Pending records are kept newest-first (arrivals pop from the end),
+        # so the new, newer block goes to the front in reversed order.
+        self._future_records[:0] = reversed(incoming)
+        self._ingest_horizon = incoming[-1].time
+        return len(incoming)
+
     # ------------------------------------------------------------------
     # Checkpoint / restore
     # ------------------------------------------------------------------
@@ -200,11 +282,14 @@ class ContinuousStreamProcessor:
         scheduler: EventScheduler,
         future_records: list[StreamRecord],
         n_events_emitted: int,
+        ingest_horizon: float | None = None,
     ) -> "ContinuousStreamProcessor":
         """Assemble a processor from restored state (no bootstrap replay).
 
         ``future_records`` must be in the internal pop order (newest first;
-        arrivals are consumed from the end of the list).
+        arrivals are consumed from the end of the list).  ``ingest_horizon``
+        is the saved live-ingestion watermark; ``None`` (pre-horizon
+        checkpoints) falls back to the newest pending record / start time.
         """
         processor = object.__new__(cls)
         processor._stream = MultiAspectStream(
@@ -216,10 +301,16 @@ class ContinuousStreamProcessor:
         processor._scheduler = scheduler
         processor._n_events_emitted = int(n_events_emitted)
         processor._future_records = list(future_records)
+        processor._iterating = False
         processor._kind_by_step = tuple(
             WindowEvent.kind_for_step(step, config.window_length)
             for step in range(config.window_length + 1)
         )
+        if ingest_horizon is None:
+            ingest_horizon = (
+                future_records[0].time if future_records else start_time
+            )
+        processor._ingest_horizon = float(ingest_horizon)
         return processor
 
     # ------------------------------------------------------------------
@@ -276,8 +367,32 @@ class ContinuousStreamProcessor:
             exactly like other events, so the default is True; the flag exists
             for ablation experiments.
         """
-        window_length = self._config.window_length
-        period = self._config.period
+        if self._iterating:
+            raise ConcurrentIterationError(
+                "another events()/iter_batches() iteration is already active "
+                "on this processor; a concurrent drain would corrupt the "
+                "scheduler heap — exhaust or close the active iterator first"
+            )
+        self._iterating = True
+        try:
+            yield from self._events(
+                end_time,
+                max_events,
+                include_expiry,
+                self._config.window_length,
+                self._config.period,
+            )
+        finally:
+            self._iterating = False
+
+    def _events(
+        self,
+        end_time: float | None,
+        max_events: int | None,
+        include_expiry: bool,
+        window_length: int,
+        period: float,
+    ) -> Iterator[tuple[WindowEvent, Delta]]:
         emitted = 0
         while True:
             if max_events is not None and emitted >= max_events:
@@ -385,6 +500,26 @@ class ContinuousStreamProcessor:
             raise ConfigurationError(
                 f"batch_window must be >= 0, got {batch_window}"
             )
+        if self._iterating:
+            raise ConcurrentIterationError(
+                "another events()/iter_batches() iteration is already active "
+                "on this processor; a concurrent drain would corrupt the "
+                "scheduler heap — exhaust or close the active iterator first"
+            )
+        self._iterating = True
+        try:
+            yield from self._iter_batches(end_time, max_events, batch_window)
+        finally:
+            self._iterating = False
+
+    def _iter_batches(
+        self,
+        end_time: float | None,
+        max_events: int | None,
+        batch_window: float,
+    ) -> Iterator[DeltaBatch]:
+        window_length = self._config.window_length
+        period = self._config.period
         scheduler = self._scheduler
         records = self._future_records
         kind_by_step = self._kind_by_step

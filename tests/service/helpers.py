@@ -1,0 +1,66 @@
+"""Shared helpers for the streaming-service tests.
+
+Every test stream here is deliberately tiny (small modes, short window,
+few ALS iterations) so that multi-stream scenarios — including the
+100-stream soak — stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.config import StreamConfig
+from repro.stream.events import StreamRecord
+
+#: Geometry shared by most service tests: W*T = 15, so records in [0, 15)
+#: fill the initial window and the stream goes live at t=15.
+TINY_KWARGS = dict(
+    mode_sizes=(4, 3),
+    window_length=3,
+    period=5.0,
+    rank=2,
+    als_iterations=2,
+    detector_warmup=5,
+    seed=0,
+)
+
+
+def tiny_config(**overrides) -> StreamConfig:
+    kwargs = dict(TINY_KWARGS)
+    kwargs.update(overrides)
+    return StreamConfig(**kwargs)
+
+
+def make_records(
+    n: int,
+    start: float,
+    spacing: float,
+    seed: int,
+    mode_sizes=(4, 3),
+) -> list[StreamRecord]:
+    """``n`` chronologically ordered random records starting at ``start``."""
+    rng = np.random.default_rng(seed)
+    return [
+        StreamRecord(
+            indices=tuple(int(rng.integers(0, size)) for size in mode_sizes),
+            value=float(rng.uniform(0.5, 2.0)),
+            time=start + position * spacing,
+        )
+        for position in range(n)
+    ]
+
+
+def wire_records(records) -> list[list]:
+    """Wire form of a record chunk: ``[[indices...], value, time]``."""
+    return [[list(r.indices), r.value, r.time] for r in records]
+
+
+def warm_records(seed: int = 1) -> list[StreamRecord]:
+    """Records filling the initial window of a TINY stream: t in [0, 15)."""
+    return make_records(30, start=0.0, spacing=0.5, seed=seed)
+
+
+def live_chunks(n_chunks: int = 3, seed: int = 2) -> list[list[StreamRecord]]:
+    """Chronological post-warm-up chunks (t > 15) for a TINY stream."""
+    records = make_records(n_chunks * 8, start=15.25, spacing=0.25, seed=seed)
+    return [records[i * 8 : (i + 1) * 8] for i in range(n_chunks)]

@@ -1,0 +1,147 @@
+"""ServiceManager: admission, durability, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.manager import ServiceManager
+
+from helpers import live_chunks, tiny_config, warm_records
+
+
+def populated_manager(service_config, n_streams=3, live=True) -> ServiceManager:
+    manager = ServiceManager(service_config)
+    for position in range(n_streams):
+        session = manager.create_stream(f"tenant-{position}", tiny_config())
+        session.ingest(warm_records(seed=position + 1))
+        if live:
+            session.start()
+            for chunk in live_chunks(2, seed=position + 50):
+                session.ingest(chunk)
+    return manager
+
+
+class TestAdmission:
+    def test_create_get_drop(self, service_config, stream_config):
+        manager = ServiceManager(service_config)
+        session = manager.create_stream("a", stream_config)
+        assert manager.get("a") is session
+        assert "a" in manager and len(manager) == 1
+        manager.drop_stream("a")
+        assert "a" not in manager
+        with pytest.raises(ServiceError) as excinfo:
+            manager.get("a")
+        assert excinfo.value.code == "unknown_stream"
+
+    def test_duplicate_id_is_conflict(self, service_config, stream_config):
+        manager = ServiceManager(service_config)
+        manager.create_stream("a", stream_config)
+        with pytest.raises(ServiceError) as excinfo:
+            manager.create_stream("a", stream_config)
+        assert excinfo.value.code == "conflict"
+
+    @pytest.mark.parametrize(
+        "stream_id", ["", "-leading-dash", "has space", "a/b", "x" * 129]
+    )
+    def test_malformed_ids_rejected(self, service_config, stream_config, stream_id):
+        manager = ServiceManager(service_config)
+        with pytest.raises(ServiceError) as excinfo:
+            manager.create_stream(stream_id, stream_config)
+        assert excinfo.value.code == "bad_request"
+
+    def test_stream_cap_enforced(self, stream_config):
+        manager = ServiceManager(ServiceConfig(max_streams=2))
+        manager.create_stream("a", stream_config)
+        manager.create_stream("b", stream_config)
+        with pytest.raises(ServiceError) as excinfo:
+            manager.create_stream("c", stream_config)
+        assert excinfo.value.code == "stream_cap"
+        manager.drop_stream("a")
+        manager.create_stream("c", stream_config)  # freed slot is reusable
+
+
+class TestDurability:
+    def test_no_root_means_no_checkpoints(self, stream_config):
+        manager = ServiceManager(ServiceConfig())
+        manager.create_stream("a", stream_config)
+        assert manager.stream_directory("a") is None
+        assert manager.checkpoint_stream("a") is None
+        assert manager.checkpoint_all() == []
+
+    def test_checkpoint_all_then_recover(self, service_config):
+        manager = populated_manager(service_config, n_streams=3)
+        assert manager.checkpoint_all() == [
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+        ]
+        fresh = ServiceManager(service_config)
+        report = fresh.recover()
+        assert report["recovered"] == ["tenant-0", "tenant-1", "tenant-2"]
+        assert report["failed"] == {}
+        for stream_id in manager.stream_ids:
+            original = manager.get(stream_id).factors()["factors"]
+            recovered = fresh.get(stream_id).factors()["factors"]
+            for fa, fb in zip(original, recovered):
+                assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_recover_skips_damaged_stream_but_keeps_the_rest(
+        self, service_config
+    ):
+        manager = populated_manager(service_config, n_streams=3)
+        manager.checkpoint_all()
+        damaged = manager.stream_directory("tenant-1")
+        (damaged / "meta.json").write_text("{torn write")
+        fresh = ServiceManager(service_config)
+        report = fresh.recover()
+        assert report["recovered"] == ["tenant-0", "tenant-2"]
+        assert "tenant-1" in report["failed"]
+        assert "tenant-1" not in fresh
+
+    def test_recover_rejects_renamed_directory(self, service_config):
+        manager = populated_manager(service_config, n_streams=1)
+        manager.checkpoint_all()
+        directory = manager.stream_directory("tenant-0")
+        directory.rename(directory.with_name("impostor"))
+        fresh = ServiceManager(service_config)
+        report = fresh.recover()
+        assert report["recovered"] == []
+        assert "does not match" in report["failed"]["impostor"]
+
+    def test_recover_respects_the_stream_cap(self, service_config):
+        manager = populated_manager(service_config, n_streams=3, live=False)
+        manager.checkpoint_all()
+        capped = ServiceConfig(
+            max_streams=2,
+            queue_limit=service_config.queue_limit,
+            checkpoint_root=service_config.checkpoint_root,
+        )
+        fresh = ServiceManager(capped)
+        report = fresh.recover()
+        assert len(report["recovered"]) == 2
+        assert len(report["failed"]) == 1
+        assert "stream cap" in next(iter(report["failed"].values()))
+
+    def test_recover_without_root_is_empty(self, stream_config):
+        manager = ServiceManager(ServiceConfig())
+        assert manager.recover() == {"recovered": [], "failed": {}}
+
+    def test_drop_stream_can_delete_state(self, service_config):
+        manager = populated_manager(service_config, n_streams=1)
+        manager.checkpoint_all()
+        directory = manager.stream_directory("tenant-0")
+        assert directory.is_dir()
+        manager.drop_stream("tenant-0", delete_state=True)
+        assert not directory.exists()
+
+    def test_describe_lists_every_stream(self, service_config):
+        manager = populated_manager(service_config, n_streams=2)
+        rows = manager.describe()
+        assert [row["stream"] for row in rows] == ["tenant-0", "tenant-1"]
+        assert all(row["phase"] == "live" for row in rows)
+        assert all(row["events_applied"] > 0 for row in rows)

@@ -1,0 +1,361 @@
+"""StreamingServer behaviour, exercised in-process through ``_dispatch``.
+
+No TCP here: these tests drive the server's op dispatcher directly inside
+``asyncio.run`` so the concurrency model (bounded queues, per-stream locks,
+worker tasks) runs for real while failures stay easy to localise.  The
+socket layer gets its own end-to-end coverage in ``test_service_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.manager import ServiceManager
+from repro.service.server import StreamingServer
+from repro.service.session import StreamSession
+
+from helpers import live_chunks, tiny_config, warm_records, wire_records
+
+
+def sequential_reference(warm, chunks) -> StreamSession:
+    """The ground truth: the same chunk sequence applied alone, in order."""
+    session = StreamSession("reference", tiny_config())
+    session.ingest(warm)
+    session.start()
+    for chunk in chunks:
+        session.ingest(chunk)
+    return session
+
+
+async def dispatch(server, op, **fields):
+    return await server._dispatch({"op": op, **fields})
+
+
+async def create_and_start(server, stream_id, warm):
+    response = await dispatch(
+        server,
+        "create_stream",
+        stream=stream_id,
+        config=tiny_config().to_dict(),
+    )
+    assert response["ok"], response
+    response = await dispatch(
+        server, "ingest", stream=stream_id, records=wire_records(warm)
+    )
+    assert response["ok"], response
+    response = await dispatch(server, "start_stream", stream=stream_id)
+    assert response["ok"], response
+
+
+class TestOps:
+    def test_ping_streams_and_unknown_op(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            response = await dispatch(server, "ping")
+            assert response["ok"] and response["pong"]
+            with pytest.raises(ServiceError) as excinfo:
+                await dispatch(server, "nonsense")
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServiceError) as excinfo:
+                await dispatch(server, "factors", stream="ghost")
+            assert excinfo.value.code == "unknown_stream"
+
+        asyncio.run(scenario())
+
+    def test_dispatch_safely_maps_errors_to_codes(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            # Broken JSON and wrong shapes never raise, they answer.
+            response = await server._dispatch_safely(b"{not json}\n")
+            assert not response["ok"] and response["error"] == "bad_request"
+            response = await server._dispatch_safely(b'{"no_op": 1}\n')
+            assert not response["ok"] and response["error"] == "bad_request"
+            # A config error inside an op (unknown key) maps to bad_request.
+            response = await server._dispatch_safely(
+                json.dumps(
+                    {"op": "create_stream", "stream": "a", "config": {"bogus": 1}}
+                ).encode() + b"\n"
+            )
+            assert not response["ok"] and response["error"] == "bad_request"
+
+        asyncio.run(scenario())
+
+    def test_full_lifecycle_queries(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            warm = warm_records(seed=3)
+            chunks = live_chunks(2, seed=4)
+            await create_and_start(server, "s", warm)
+            for chunk in chunks:
+                await dispatch(
+                    server, "ingest", stream="s", records=wire_records(chunk)
+                )
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            fitness = await dispatch(server, "fitness", stream="s")
+            anomalies = await dispatch(server, "anomalies", stream="s", k=3)
+            stats = await dispatch(server, "stats", stream="s")
+            telemetry = await dispatch(server, "telemetry", stream="s")
+            rows = (await dispatch(server, "streams"))["streams"]
+            await server.stop()
+            return chunks, warm, factors, fitness, anomalies, stats, telemetry, rows
+
+        chunks, warm, factors, fitness, anomalies, stats, telemetry, rows = (
+            asyncio.run(scenario())
+        )
+        reference = sequential_reference(warm, chunks)
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+        assert fitness["fitness"] == reference.fitness()["fitness"]
+        assert anomalies["scored"] == reference._detector.count
+        assert stats["phase"] == "live"
+        assert telemetry["telemetry"]["records_ingested"] == 30 + 2 * 8
+        assert rows[0]["stream"] == "s" and rows[0]["queue_depth"] == 0
+
+
+class TestConcurrentTenants:
+    N_STREAMS = 6
+
+    def test_concurrent_streams_match_sequential_runs(self):
+        """The headline guarantee: N tenants ingesting at once, with queries
+        interleaved, end bit-identical to N sequential single-tenant runs."""
+        warms = {
+            f"t{i}": warm_records(seed=10 + i) for i in range(self.N_STREAMS)
+        }
+        chunk_sets = {
+            f"t{i}": live_chunks(4, seed=40 + i) for i in range(self.N_STREAMS)
+        }
+
+        async def tenant(server, stream_id):
+            await create_and_start(server, stream_id, warms[stream_id])
+            for chunk in chunk_sets[stream_id]:
+                response = await dispatch(
+                    server,
+                    "ingest",
+                    stream=stream_id,
+                    records=wire_records(chunk),
+                )
+                assert response["ok"], response
+                # Interleave reads with everyone else's writes.
+                fitness = await dispatch(server, "fitness", stream=stream_id)
+                assert 0.0 <= fitness["fitness"] <= 1.0
+                await asyncio.sleep(0)
+            flush = await dispatch(server, "flush", stream=stream_id)
+            assert flush["deferred_errors"] == []
+
+        async def scenario():
+            server = StreamingServer(
+                ServiceManager(ServiceConfig(max_streams=self.N_STREAMS))
+            )
+            await asyncio.gather(
+                *(tenant(server, stream_id) for stream_id in warms)
+            )
+            results = {
+                stream_id: await dispatch(server, "factors", stream=stream_id)
+                for stream_id in warms
+            }
+            detectors = {
+                stream_id: server.manager.get(stream_id)._detector.state_dict()
+                for stream_id in warms
+            }
+            await server.stop()
+            return results, detectors
+
+        results, detectors = asyncio.run(scenario())
+        for stream_id in warms:
+            reference = sequential_reference(
+                warms[stream_id], chunk_sets[stream_id]
+            )
+            for fa, fb in zip(
+                results[stream_id]["factors"], reference.factors()["factors"]
+            ):
+                assert np.array_equal(np.array(fa), np.array(fb))
+            assert detectors[stream_id] == reference._detector.state_dict()
+
+    def test_soak_hundred_streams(self, tmp_path):
+        """Admission, ingestion, queries, checkpoint and recovery at 100
+        concurrent streams."""
+        n_streams = 100
+        root = tmp_path / "state"
+        config = ServiceConfig(max_streams=n_streams, checkpoint_root=str(root))
+        warms = {f"s{i:03d}": warm_records(seed=100 + i) for i in range(n_streams)}
+        chunk_sets = {
+            f"s{i:03d}": live_chunks(2, seed=300 + i) for i in range(n_streams)
+        }
+
+        async def tenant(server, stream_id):
+            await create_and_start(server, stream_id, warms[stream_id])
+            for chunk in chunk_sets[stream_id]:
+                await dispatch(
+                    server, "ingest", stream=stream_id, records=wire_records(chunk)
+                )
+            await dispatch(server, "flush", stream=stream_id)
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(config))
+            await asyncio.gather(
+                *(tenant(server, stream_id) for stream_id in warms)
+            )
+            ping = await dispatch(server, "ping")
+            assert ping["streams"] == n_streams
+            written = await dispatch(server, "checkpoint_all")
+            assert len(written["checkpointed"]) == n_streams
+            factors = {
+                stream_id: (await dispatch(server, "factors", stream=stream_id))[
+                    "factors"
+                ]
+                for stream_id in warms
+            }
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(scenario())
+        # A fresh manager (fresh process in real life) recovers all 100.
+        recovered = ServiceManager(config)
+        report = recovered.recover()
+        assert report["failed"] == {}
+        assert len(report["recovered"]) == n_streams
+        for stream_id in warms:
+            for fa, fb in zip(
+                factors[stream_id],
+                recovered.get(stream_id).factors()["factors"],
+            ):
+                assert np.array_equal(np.array(fa), np.array(fb))
+
+
+class TestBackpressure:
+    def test_overload_is_rejected_not_dropped(self):
+        """A full queue answers ``overloaded``; retrying the same chunk later
+        converges on exactly the sequential-reference state."""
+        warm = warm_records(seed=5)
+        chunks = live_chunks(6, seed=6)
+
+        async def scenario():
+            server = StreamingServer(
+                ServiceManager(ServiceConfig(queue_limit=2))
+            )
+            await create_and_start(server, "s", warm)
+            await dispatch(server, "flush", stream="s")
+            # Synchronous put_nowait calls: the worker task never runs between
+            # them, so the queue fills deterministically at queue_limit=2.
+            accepted, rejected = [], []
+            for chunk in chunks:
+                request = {"records": wire_records(chunk), "op": "ingest"}
+                try:
+                    server._op_ingest("s", request)
+                    accepted.append(chunk)
+                except ServiceError as error:
+                    assert error.code == "overloaded"
+                    rejected.append(chunk)
+            assert len(accepted) == 2
+            assert len(rejected) == 4
+            telemetry = await dispatch(server, "telemetry", stream="s")
+            assert telemetry["telemetry"]["overload_rejections"] == 4
+            # Drain, then retry every rejected chunk in order: nothing lost.
+            # The client owns the retry — on another overload, flush and
+            # resend (the queue stays tiny on purpose).
+            await dispatch(server, "flush", stream="s")
+            for chunk in rejected:
+                while True:
+                    try:
+                        response = await dispatch(
+                            server,
+                            "ingest",
+                            stream="s",
+                            records=wire_records(chunk),
+                        )
+                    except ServiceError as error:
+                        assert error.code == "overloaded"
+                        await dispatch(server, "flush", stream="s")
+                        continue
+                    assert response["ok"], response
+                    break
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(scenario())
+        reference = sequential_reference(warm, chunks)
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_deferred_error_surfaces_on_flush(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm_records(seed=7))
+            chunk = live_chunks(1, seed=8)[0]
+            await dispatch(
+                server, "ingest", stream="s", records=wire_records(chunk)
+            )
+            # Behind the clock: accepted into the queue, fails on apply.
+            stale = [[[0, 0], 1.0, 0.5]]
+            response = await dispatch(
+                server, "ingest", stream="s", records=stale
+            )
+            assert response["ok"]  # acked before applied, by design
+            flush = await dispatch(server, "flush", stream="s")
+            assert len(flush["deferred_errors"]) == 1
+            assert "conflict" in flush["deferred_errors"][0]
+            # Errors are delivered once, then cleared.
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return chunk, factors
+
+        chunk, factors = asyncio.run(scenario())
+        # The failed chunk left no partial state behind.
+        reference = sequential_reference(warm_records(seed=7), [chunk])
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+
+class TestCheckpointing:
+    def test_count_triggered_checkpoints(self, tmp_path):
+        root = tmp_path / "state"
+        config = ServiceConfig(checkpoint_root=str(root), checkpoint_events=10)
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(config))
+            await create_and_start(server, "s", warm_records(seed=9))
+            for chunk in live_chunks(4, seed=10):
+                await dispatch(
+                    server, "ingest", stream="s", records=wire_records(chunk)
+                )
+            await dispatch(server, "flush", stream="s")
+            telemetry = await dispatch(server, "telemetry", stream="s")
+            written = telemetry["telemetry"]["checkpoints_written"]
+            session = server.manager.get("s")
+            # stop() adds the final graceful checkpoint.
+            await server.stop()
+            return written, session.telemetry.checkpoints_written
+
+        mid_run, total = asyncio.run(scenario())
+        assert mid_run >= 1  # the worker checkpointed while serving
+        assert total > mid_run  # graceful stop wrote one more
+        recovered = ServiceManager(config)
+        assert recovered.recover()["recovered"] == ["s"]
+
+    def test_explicit_checkpoint_op(self, tmp_path):
+        config = ServiceConfig(checkpoint_root=str(tmp_path / "state"))
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(config))
+            await create_and_start(server, "s", warm_records(seed=11))
+            response = await dispatch(server, "checkpoint", stream="s")
+            await server.stop()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"]
+        assert response["path"] is not None
+        assert (tmp_path / "state" / "s" / "meta.json").is_file()

@@ -1,0 +1,206 @@
+"""Live ingestion (`extend`) and the concurrent-iteration guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConcurrentIterationError,
+    IndexOutOfBoundsError,
+    ShapeError,
+    StreamOrderError,
+)
+from repro.stream.events import StreamRecord
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.stream import MultiAspectStream
+from repro.stream.window import WindowConfig
+
+
+def _processor(records, mode_sizes=(3, 2), window_length=3, period=10.0, start_time=None):
+    stream = MultiAspectStream(records, mode_sizes=mode_sizes)
+    config = WindowConfig(
+        mode_sizes=mode_sizes, window_length=window_length, period=period
+    )
+    return ContinuousStreamProcessor(stream, config, start_time=start_time)
+
+
+@pytest.fixture
+def live_processor(tiny_records):
+    # start_time 30.0: the record at t=33 stays pending, so the horizon is 33.
+    return _processor(tiny_records, start_time=30.0)
+
+
+class TestExtend:
+    def test_horizon_starts_at_newest_pending_record(self, live_processor):
+        assert live_processor.ingest_horizon == 33.0
+
+    def test_horizon_without_pending_records_is_start_time(self, tiny_records):
+        processor = _processor(tiny_records, start_time=40.0)
+        assert processor.ingest_horizon == 40.0
+
+    def test_extend_appends_and_advances_horizon(self, live_processor):
+        added = live_processor.extend(
+            [
+                StreamRecord(indices=(0, 0), value=1.0, time=35.0),
+                StreamRecord(indices=(1, 1), value=2.0, time=40.0),
+            ]
+        )
+        assert added == 2
+        assert live_processor.ingest_horizon == 40.0
+        assert live_processor.n_pending_records == 3
+
+    def test_extended_records_replay_in_order(self, live_processor):
+        live_processor.extend(
+            [StreamRecord(indices=(0, 0), value=1.0, time=35.0)]
+        )
+        arrival_times = [
+            event.record.time
+            for event, _ in live_processor.events()
+            if event.step == 0
+        ]
+        assert arrival_times == [33.0, 35.0]
+
+    def test_extend_equivalent_to_fixed_stream(self, tiny_records):
+        """Feeding records live produces the same state as a fixed stream."""
+        fixed = _processor(tiny_records, start_time=30.0)
+        live = _processor(
+            [r for r in tiny_records if r.time <= 30.0], start_time=30.0
+        )
+        live.extend([r for r in tiny_records if r.time > 30.0])
+        fixed.run()
+        live.run()
+        fixed_items = dict(fixed.window.tensor.items())
+        live_items = dict(live.window.tensor.items())
+        assert fixed_items == live_items
+
+    def test_empty_extend_is_a_noop(self, live_processor):
+        assert live_processor.extend([]) == 0
+        assert live_processor.ingest_horizon == 33.0
+
+    def test_tie_with_horizon_is_allowed(self, live_processor):
+        live_processor.extend(
+            [StreamRecord(indices=(0, 0), value=1.0, time=33.0)]
+        )
+        assert live_processor.n_pending_records == 2
+
+    def test_rejects_record_before_horizon(self, live_processor):
+        with pytest.raises(StreamOrderError, match="ingest horizon"):
+            live_processor.extend(
+                [StreamRecord(indices=(0, 0), value=1.0, time=32.0)]
+            )
+
+    def test_rejects_unordered_chunk(self, live_processor):
+        with pytest.raises(StreamOrderError):
+            live_processor.extend(
+                [
+                    StreamRecord(indices=(0, 0), value=1.0, time=40.0),
+                    StreamRecord(indices=(0, 0), value=1.0, time=35.0),
+                ]
+            )
+
+    def test_rejects_record_inside_initial_window(self, tiny_records):
+        processor = _processor(tiny_records, start_time=40.0)
+        with pytest.raises(StreamOrderError, match="initial window"):
+            processor.extend(
+                [StreamRecord(indices=(0, 0), value=1.0, time=40.0)]
+            )
+
+    def test_rejects_wrong_arity(self, live_processor):
+        with pytest.raises(ShapeError):
+            live_processor.extend(
+                [StreamRecord(indices=(0, 0, 0), value=1.0, time=50.0)]
+            )
+
+    def test_rejects_out_of_bounds_index(self, live_processor):
+        with pytest.raises(IndexOutOfBoundsError):
+            live_processor.extend(
+                [StreamRecord(indices=(3, 0), value=1.0, time=50.0)]
+            )
+
+    def test_failed_extend_leaves_state_untouched(self, live_processor):
+        before = live_processor.n_pending_records
+        with pytest.raises(StreamOrderError):
+            live_processor.extend(
+                [
+                    StreamRecord(indices=(0, 0), value=1.0, time=35.0),
+                    StreamRecord(indices=(0, 0), value=1.0, time=34.0),
+                ]
+            )
+        assert live_processor.n_pending_records == before
+        assert live_processor.ingest_horizon == 33.0
+
+    def test_horizon_round_trips_through_checkpoint(self, live_processor, tmp_path):
+        live_processor.extend(
+            [StreamRecord(indices=(0, 0), value=1.0, time=50.0)]
+        )
+        live_processor.run(end_time=55.0)  # drain everything: no pending records
+        assert live_processor.n_pending_records == 0
+        live_processor.save_checkpoint(tmp_path / "ckpt")
+        restored = ContinuousStreamProcessor.from_checkpoint(tmp_path / "ckpt")
+        # Without the persisted horizon this would fall back to start_time
+        # and wrongly accept records older than 50.
+        assert restored.ingest_horizon == 50.0
+        with pytest.raises(StreamOrderError):
+            restored.extend(
+                [StreamRecord(indices=(0, 0), value=1.0, time=45.0)]
+            )
+
+
+class TestConcurrentIterationGuard:
+    def test_second_events_iteration_is_rejected(self, small_processor):
+        iterator = small_processor.events(max_events=50)
+        next(iterator)
+        with pytest.raises(ConcurrentIterationError):
+            next(small_processor.events())
+        iterator.close()
+
+    def test_iter_batches_during_events_is_rejected(self, small_processor):
+        iterator = small_processor.events(max_events=50)
+        next(iterator)
+        with pytest.raises(ConcurrentIterationError):
+            next(small_processor.iter_batches())
+        iterator.close()
+
+    def test_events_during_iter_batches_is_rejected(self, small_processor):
+        iterator = small_processor.iter_batches(max_events=50)
+        batch = next(iterator)
+        small_processor.window.apply_batch(batch)
+        with pytest.raises(ConcurrentIterationError):
+            next(small_processor.events())
+        iterator.close()
+
+    def test_extend_during_iteration_is_rejected(self, small_processor):
+        iterator = small_processor.events(max_events=50)
+        next(iterator)
+        with pytest.raises(ConcurrentIterationError):
+            small_processor.extend(
+                [StreamRecord(indices=(0, 0), value=1.0, time=1e9)]
+            )
+        iterator.close()
+
+    def test_exhausted_iteration_releases_the_guard(self, small_processor):
+        for _ in small_processor.events(max_events=10):
+            pass
+        # A fresh iteration must be allowed again.
+        assert sum(1 for _ in small_processor.events(max_events=10)) == 10
+
+    def test_closed_iteration_releases_the_guard(self, small_processor):
+        iterator = small_processor.events(max_events=10)
+        next(iterator)
+        iterator.close()
+        assert sum(1 for _ in small_processor.events(max_events=10)) == 10
+
+    def test_paused_end_time_iteration_releases_the_guard(self, small_processor):
+        start = small_processor.start_time
+        for _ in small_processor.events(end_time=start + 5.0):
+            pass
+        for _ in small_processor.events(end_time=start + 10.0):
+            pass
+
+    def test_guard_error_is_also_a_runtime_error(self, small_processor):
+        iterator = small_processor.iter_batches(max_events=5)
+        next(iterator)
+        with pytest.raises(RuntimeError):
+            next(small_processor.iter_batches())
+        iterator.close()
