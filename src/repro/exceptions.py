@@ -78,9 +78,21 @@ class ServiceError(ReproError, RuntimeError):
 
     Carries a machine-readable ``code`` (e.g. ``"unknown_stream"``,
     ``"overloaded"``, ``"stream_cap"``, ``"conflict"``) so the wire protocol
-    can map errors onto structured responses.
+    can map errors onto structured responses.  The ``"connection"`` code is
+    special: it is raised by the *client* for transport failures (reset,
+    timeout, truncated response) that never produced a server response, so
+    callers can branch on transport-vs-server faults.
     """
 
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = str(code)
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Raised at ``exception``-kind fault points of a
+    :class:`~repro.service.faults.FaultPlan`, so chaos tests can tell an
+    injected failure apart from a genuine bug with one ``except`` clause.
+    """

@@ -10,7 +10,9 @@ factor maintenance, over a line-delimited JSON TCP protocol:
 * :mod:`repro.service.server` — the asyncio front-end (bounded per-stream
   queues with explicit overload responses, atomic-snapshot queries,
   background checkpoints);
-* :mod:`repro.service.client` — a thin blocking client;
+* :mod:`repro.service.client` — a blocking client with optional retries;
+* :mod:`repro.service.faults` — deterministic fault injection for chaos
+  testing (scripted checkpoint failures, connection resets, stalls);
 * :mod:`repro.service.cli` — the ``repro serve`` entry point.
 
 Determinism: each stream's factor and detector state is a pure function of
@@ -19,6 +21,7 @@ multi-tenant operation is bit-identical to replaying each stream alone.
 """
 
 from repro.service.config import ServiceConfig, StreamConfig
+from repro.service.faults import FaultInjector, FaultPlan, FaultRule
 from repro.service.telemetry import StreamTelemetry
 from repro.service.session import StreamSession
 from repro.service.manager import ServiceManager
@@ -28,6 +31,9 @@ from repro.service.client import ServiceClient
 __all__ = [
     "ServiceConfig",
     "StreamConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "StreamTelemetry",
     "StreamSession",
     "ServiceManager",

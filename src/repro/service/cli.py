@@ -16,6 +16,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.service.config import ServiceConfig
+from repro.service.faults import FaultPlan
 from repro.service.manager import ServiceManager
 from repro.service.server import StreamingServer
 
@@ -78,10 +79,60 @@ def build_parser() -> argparse.ArgumentParser:
             "stream this often (0 disables)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help=(
+            "base delay before a failed background checkpoint is retried; "
+            "doubles per consecutive failure"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-retry-max",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cap on the checkpoint retry backoff",
+    )
+    parser.add_argument(
+        "--dedup-window",
+        type=int,
+        default=1024,
+        metavar="N",
+        help=(
+            "recent ingest seq numbers remembered per stream for "
+            "idempotent-retry dedup"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-stall",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "flag a stream as stalled when one chunk application exceeds "
+            "this long (0 disables the watchdog)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON fault-injection plan for chaos testing; scripted faults "
+            "(checkpoint write errors, apply exceptions, connection resets, "
+            "stalls, overloads) fire deterministically from the plan's seed"
+        ),
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.from_file(args.fault_plan)
     manager = ServiceManager(
         ServiceConfig(
             max_streams=args.max_streams,
@@ -89,10 +140,21 @@ async def _serve(args: argparse.Namespace) -> None:
             checkpoint_root=args.checkpoint_root,
             checkpoint_events=args.checkpoint_events,
             checkpoint_interval=args.checkpoint_interval,
+            checkpoint_retry_backoff=args.checkpoint_retry_backoff,
+            checkpoint_retry_max=args.checkpoint_retry_max,
+            dedup_window=args.dedup_window,
+            watchdog_stall_seconds=args.watchdog_stall,
+            fault_plan=fault_plan,
         )
     )
     server = StreamingServer(manager, host=args.host, port=args.port)
     host, port = await server.start()
+    if fault_plan is not None:
+        print(
+            f"fault injection active: {len(fault_plan.rules)} rule(s), "
+            f"seed {fault_plan.seed}",
+            flush=True,
+        )
     recovered = manager.stream_ids
     if recovered:
         print(f"recovered {len(recovered)} stream(s): {', '.join(recovered)}")

@@ -1,9 +1,31 @@
-"""Thin blocking client for the streaming service.
+"""Blocking client for the streaming service, with optional retries.
 
 One TCP connection, one request line per call, one response line back.
 Errors come back as :class:`~repro.exceptions.ServiceError` carrying the
 server's machine-readable code, so callers can branch on ``overloaded``
-versus ``unknown_stream`` without parsing messages.
+versus ``unknown_stream`` without parsing messages.  Transport failures
+(reset, timeout, truncated response) raise the client-side ``connection``
+code — no server response existed, so the outcome of the request is
+unknown.
+
+Retry policy (``retries > 0``)
+------------------------------
+* ``overloaded`` is always safe to retry: the server *rejected* the chunk
+  without enqueuing it.  Retried for every op with bounded exponential
+  backoff plus jitter.
+* ``connection`` failures are ambiguous — the op may or may not have been
+  applied.  They are retried (after an automatic reconnect) only for ops
+  that are idempotent: reads, barriers, checkpoints, and ``ingest`` /
+  ``advance`` calls that carry a ``seq`` (the server deduplicates
+  re-sends).  A seq-less ingest is *not* connection-retried: it could
+  double-apply.
+* Everything else (``bad_request``, ``conflict``, ``unknown_stream``, ...)
+  is a real answer and raises immediately.
+
+``auto_seq=True`` makes the client stamp each ``ingest`` / ``advance``
+with a per-stream monotonic seq automatically, so every ingest becomes
+safely retryable.  The counter starts at 1 per client instance — use
+explicit seqs when several client instances feed one stream.
 
 Example
 -------
@@ -11,7 +33,7 @@ Example
 
     from repro.service.client import ServiceClient
 
-    with ServiceClient("127.0.0.1", 7342) as client:
+    with ServiceClient("127.0.0.1", 7342, retries=5, auto_seq=True) as client:
         client.create_stream("taxi", mode_sizes=[20, 20], window_length=5,
                              period=3600.0, rank=5)
         client.ingest("taxi", [[[2, 5], 1.0, 1800.0], [[3, 1], 2.0, 5400.0]])
@@ -22,31 +44,115 @@ Example
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time as time_module
 from typing import Any
 
 from repro.exceptions import ServiceError
 from repro.service.protocol import MAX_REQUEST_BYTES, encode_message
 
+#: Ops that are idempotent as-is: a connection-failure retry can never
+#: double-apply them.  ``ingest`` / ``advance`` join this set only when the
+#: request carries a ``seq`` (server-side dedup makes the re-send safe).
+_SAFE_RETRY_OPS = frozenset(
+    {
+        "ping",
+        "streams",
+        "factors",
+        "fitness",
+        "anomalies",
+        "stats",
+        "telemetry",
+        "flush",
+        "health",
+        "checkpoint",
+        "checkpoint_all",
+    }
+)
+
 
 class ServiceClient:
-    """Blocking line-delimited JSON client."""
+    """Blocking line-delimited JSON client with optional retries.
+
+    Parameters
+    ----------
+    host, port, timeout:
+        Where to connect, and the per-recv socket timeout.
+    retries:
+        Maximum retry attempts after a retryable failure (``0`` — the
+        default — preserves the historical fail-fast behaviour).
+    backoff_base, backoff_max, jitter:
+        Exponential backoff: attempt ``n`` sleeps
+        ``min(backoff_max, backoff_base * 2**n)`` scaled by a random
+        factor in ``[1 - jitter, 1 + jitter]``.
+    deadline:
+        Per-*operation* wall-clock budget in seconds across all retries
+        (``None`` = no budget).  The last error is re-raised when the
+        budget is exhausted.
+    auto_seq:
+        Stamp ``ingest`` / ``advance`` with per-stream monotonic seqs so
+        they become safely retryable.
+    seed:
+        Seed for the jitter RNG (deterministic backoff in tests).
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 7342, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7342,
+        timeout: float = 60.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.25,
+        deadline: float | None = None,
+        auto_seq: bool = False,
+        seed: int | None = None,
     ) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self.deadline = deadline
+        self.auto_seq = auto_seq
+        #: Diagnostics: retries performed / reconnects made over the
+        #: client's lifetime.
+        self.retries_performed = 0
+        self.reconnects = 0
+        self._rng = random.Random(seed)
+        self._next_seq: dict[str, int] = {}
+        self._socket: socket.socket | None = None
+        self._reader = None
+        self._connect()
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._reader = self._socket.makefile("rb")
+
     def close(self) -> None:
         """Close the connection."""
+        reader, sock = self._reader, self._socket
+        self._reader = None
+        self._socket = None
         try:
-            self._reader.close()
+            if reader is not None:
+                reader.close()
         finally:
-            self._socket.close()
+            if sock is not None:
+                sock.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -54,32 +160,101 @@ class ServiceClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def request(self, op: str, **fields: Any) -> dict[str, Any]:
-        """Send one request and return the response payload.
+    def _request_once(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
+        """One send/recv cycle, no retries.
 
-        Raises :class:`ServiceError` (with the server's error code) when the
-        response is not ok.
+        Any transport failure poisons the connection: the response stream
+        may hold a stale or partial line, so the socket is closed and the
+        next request reconnects.  Raises the ``connection`` code for
+        transport failures, server codes otherwise.
         """
-        self._socket.sendall(encode_message({"op": op, **fields}))
-        line = self._reader.readline(MAX_REQUEST_BYTES + 1024)
-        if not line:
+        if self._socket is None:
+            self._connect()
+            self.reconnects += 1
+        try:
+            self._socket.sendall(encode_message({"op": op, **fields}))
+            line = self._reader.readline(MAX_REQUEST_BYTES + 1024)
+        except (OSError, ValueError) as error:
+            # ValueError covers I/O on a closed file object.
+            self.close()
             raise ServiceError(
-                "internal", "the server closed the connection mid-request"
+                "connection", f"transport failure during {op!r}: {error!r}"
+            ) from error
+        if not line:
+            self.close()
+            raise ServiceError(
+                "connection",
+                f"the server closed the connection during {op!r}",
+            )
+        if not line.endswith(b"\n"):
+            # readline hit its size cap (or the peer died mid-line): the
+            # response is truncated and the stream is desynchronised.
+            self.close()
+            raise ServiceError(
+                "connection",
+                f"oversized or truncated response to {op!r} "
+                f"({len(line)} bytes with no newline); connection closed",
             )
         try:
             response = json.loads(line)
         except json.JSONDecodeError as error:
+            self.close()
             raise ServiceError(
-                "internal", f"unparseable server response: {error}"
+                "connection", f"unparseable server response: {error}"
             ) from error
         if not isinstance(response, dict):
-            raise ServiceError("internal", "malformed server response")
+            self.close()
+            raise ServiceError("connection", "malformed server response")
         if not response.get("ok"):
             raise ServiceError(
                 str(response.get("error", "internal")),
                 str(response.get("message", "request failed")),
             )
         return response
+
+    def _retryable(self, op: str, fields: dict[str, Any], code: str) -> bool:
+        if code == "overloaded":
+            # The server rejected the request without enqueuing anything —
+            # always safe to re-send.
+            return True
+        if code == "connection":
+            if op in _SAFE_RETRY_OPS:
+                return True
+            if op in ("ingest", "advance") and fields.get("seq") is not None:
+                return True
+        return False
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and return the response payload.
+
+        Applies the retry policy documented on the class; raises
+        :class:`ServiceError` with the server's code (or the client-side
+        ``connection`` code) when the request ultimately fails.
+        """
+        started = time_module.monotonic()
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(op, fields)
+            except ServiceError as error:
+                if attempt >= self.retries or not self._retryable(
+                    op, fields, error.code
+                ):
+                    raise
+                delay = min(
+                    self.backoff_max, self.backoff_base * (2**attempt)
+                )
+                if self.jitter:
+                    delay *= 1 + self.jitter * (2 * self._rng.random() - 1)
+                if (
+                    self.deadline is not None
+                    and time_module.monotonic() + delay - started
+                    > self.deadline
+                ):
+                    raise
+                attempt += 1
+                self.retries_performed += 1
+                time_module.sleep(delay)
 
     # ------------------------------------------------------------------
     # Operations
@@ -92,9 +267,34 @@ class ServiceClient:
         """Admit a new stream; ``config`` holds the StreamConfig fields."""
         return self.request("create_stream", stream=stream, config=config)
 
-    def ingest(self, stream: str, records: list[Any]) -> dict[str, Any]:
-        """Enqueue one chunk of ``[indices, value, time]`` records."""
-        return self.request("ingest", stream=stream, records=records)
+    def _stamp_seq(self, stream: str, seq: int | None) -> int | None:
+        """Resolve the seq for an ingest/advance (explicit wins)."""
+        if seq is not None:
+            value = int(seq)
+            next_known = self._next_seq.get(stream, 1)
+            if value >= next_known:
+                self._next_seq[stream] = value + 1
+            return value
+        if not self.auto_seq:
+            return None
+        value = self._next_seq.get(stream, 1)
+        self._next_seq[stream] = value + 1
+        return value
+
+    def ingest(
+        self, stream: str, records: list[Any], seq: int | None = None
+    ) -> dict[str, Any]:
+        """Enqueue one chunk of ``[indices, value, time]`` records.
+
+        ``seq`` (or ``auto_seq=True``) makes the call idempotent: the seq
+        is fixed *before* the first send, so every retry re-sends the same
+        one and the server deduplicates.
+        """
+        fields: dict[str, Any] = {"stream": stream, "records": records}
+        stamped = self._stamp_seq(stream, seq)
+        if stamped is not None:
+            fields["seq"] = stamped
+        return self.request("ingest", **fields)
 
     def start_stream(
         self, stream: str, start_time: float | None = None
@@ -109,9 +309,15 @@ class ServiceClient:
         """Barrier: wait until every queued chunk has been applied."""
         return self.request("flush", stream=stream)
 
-    def advance(self, stream: str, time: float) -> dict[str, Any]:
+    def advance(
+        self, stream: str, time: float, seq: int | None = None
+    ) -> dict[str, Any]:
         """Advance stream time without data (shifts/expiries fire)."""
-        return self.request("advance", stream=stream, time=time)
+        fields: dict[str, Any] = {"stream": stream, "time": time}
+        stamped = self._stamp_seq(stream, seq)
+        if stamped is not None:
+            fields["seq"] = stamped
+        return self.request("advance", **fields)
 
     def factors(self, stream: str) -> dict[str, Any]:
         """Current factor matrices."""
@@ -136,6 +342,12 @@ class ServiceClient:
     def streams(self) -> dict[str, Any]:
         """Summary of every stream."""
         return self.request("streams")
+
+    def health(self, stream: str | None = None) -> dict[str, Any]:
+        """Service-wide (or per-stream) liveness/readiness report."""
+        if stream is None:
+            return self.request("health")
+        return self.request("health", stream=stream)
 
     def checkpoint(self, stream: str) -> dict[str, Any]:
         """Write one stream's checkpoint now."""

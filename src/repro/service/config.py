@@ -144,6 +144,26 @@ class ServiceConfig:
     checkpoint_interval:
         Seconds between background checkpoint sweeps over all live streams.
         ``0`` disables the sweep.
+    checkpoint_retry_backoff:
+        Base delay (seconds) before a *failed* background checkpoint is
+        retried; doubles per consecutive failure up to
+        ``checkpoint_retry_max``.  Failed checkpoints mark the stream
+        degraded and retry on this schedule instead of re-attempting on
+        every subsequent chunk.
+    checkpoint_retry_max:
+        Cap on the checkpoint retry backoff (seconds).
+    dedup_window:
+        How many recent ingest/advance ``seq`` numbers each stream
+        remembers for idempotent-retry dedup (on top of the applied
+        high-water mark, which is persisted in checkpoints).
+    watchdog_stall_seconds:
+        A worker busy applying one chunk for longer than this is flagged
+        as stalled by the watchdog (telemetry + ``health``).  ``0``
+        disables the watchdog.
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` (or its dict
+        form) scripting deterministic fault injection for chaos runs.
+        ``None`` — the default — injects nothing.
     """
 
     max_streams: int = 64
@@ -151,8 +171,25 @@ class ServiceConfig:
     checkpoint_root: str | Path | None = None
     checkpoint_events: int | None = None
     checkpoint_interval: float = 0.0
+    checkpoint_retry_backoff: float = 0.5
+    checkpoint_retry_max: float = 30.0
+    dedup_window: int = 1024
+    watchdog_stall_seconds: float = 0.0
+    fault_plan: Any = None
 
     def __post_init__(self) -> None:
+        if self.fault_plan is not None:
+            from repro.service.faults import FaultPlan
+
+            if isinstance(self.fault_plan, Mapping):
+                object.__setattr__(
+                    self, "fault_plan", FaultPlan.from_dict(self.fault_plan)
+                )
+            elif not isinstance(self.fault_plan, FaultPlan):
+                raise ConfigurationError(
+                    "fault_plan must be a FaultPlan or its dict form, got "
+                    f"{type(self.fault_plan).__name__}"
+                )
         if self.max_streams <= 0:
             raise ConfigurationError(
                 f"max_streams must be positive, got {self.max_streams}"
@@ -168,6 +205,25 @@ class ServiceConfig:
         if self.checkpoint_interval < 0:
             raise ConfigurationError(
                 f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
+            )
+        if self.checkpoint_retry_backoff <= 0:
+            raise ConfigurationError(
+                "checkpoint_retry_backoff must be positive, got "
+                f"{self.checkpoint_retry_backoff}"
+            )
+        if self.checkpoint_retry_max < self.checkpoint_retry_backoff:
+            raise ConfigurationError(
+                "checkpoint_retry_max must be >= checkpoint_retry_backoff, "
+                f"got {self.checkpoint_retry_max}"
+            )
+        if self.dedup_window <= 0:
+            raise ConfigurationError(
+                f"dedup_window must be positive, got {self.dedup_window}"
+            )
+        if self.watchdog_stall_seconds < 0:
+            raise ConfigurationError(
+                "watchdog_stall_seconds must be >= 0, got "
+                f"{self.watchdog_stall_seconds}"
             )
 
     @property

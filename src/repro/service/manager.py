@@ -112,12 +112,22 @@ class ServiceManager:
         return session.save(directory)
 
     def checkpoint_all(self) -> list[str]:
-        """Persist every stream; returns the ids actually written."""
+        """Persist every stream; returns the ids actually written.
+
+        Best-effort: one stream's write failure must not keep the others
+        from being persisted.  Failures are recorded on the failing
+        stream's telemetry (``last_checkpoint_error`` / degraded state) by
+        :meth:`~repro.service.session.StreamSession.save` and the sweep
+        continues.
+        """
         if self.config.root_path is None:
             return []
         written = []
         for stream_id in self.stream_ids:
-            self.checkpoint_stream(stream_id)
+            try:
+                self.checkpoint_stream(stream_id)
+            except Exception:
+                continue
             written.append(stream_id)
         return written
 
@@ -172,6 +182,7 @@ class ServiceManager:
                 ),
                 "records_ingested": session.telemetry.records_ingested,
                 "events_applied": session.telemetry.events_applied,
+                "degraded": session.telemetry.degraded,
             }
             for stream_id, session in self._sessions.items()
         ]

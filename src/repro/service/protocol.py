@@ -14,8 +14,15 @@ Response::
 
 Records travel as ``[indices, value, time]`` triples.  Error codes are the
 machine-readable contract (``unknown_stream``, ``overloaded``,
-``stream_cap``, ``bad_request``, ``conflict``, ``internal``); messages are
-for humans and may change.
+``stream_cap``, ``bad_request``, ``conflict``, ``internal``, plus the
+client-side ``connection``); messages are for humans and may change.
+
+Idempotent ingest: an ``ingest`` / ``advance`` request may carry a
+per-stream monotonically increasing integer ``seq``.  The server remembers
+the applied high-water mark (persisted in checkpoints) plus a recent-seq
+dedup window, and answers an already-seen ``seq`` with
+``{"ok": true, "duplicate": true}`` without re-applying — so a client
+retrying after an ambiguous "sent but no ack" failure is exactly-once.
 """
 
 from __future__ import annotations
@@ -27,7 +34,10 @@ from typing import Any
 from repro.exceptions import ReproError, ServiceError
 from repro.stream.events import StreamRecord
 
-#: Codes a response's ``error`` field may carry.
+#: Codes a response's ``error`` field may carry.  ``connection`` is never
+#: sent by the server: the client raises it locally for transport failures
+#: (reset, timeout, truncated response) where no server response exists, so
+#: retry policy can branch on transport-vs-server faults.
 ERROR_CODES = (
     "unknown_stream",
     "overloaded",
@@ -35,6 +45,7 @@ ERROR_CODES = (
     "bad_request",
     "conflict",
     "internal",
+    "connection",
 )
 
 #: Requests larger than this are refused outright; a malicious or buggy

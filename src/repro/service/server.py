@@ -16,26 +16,51 @@ Concurrency model
 * The numeric work itself runs in worker threads (``asyncio.to_thread``),
   keeping the event loop responsive while numpy grinds.
 
-Durability: checkpoints are written by the stream's own worker once
-``checkpoint_events`` events have accumulated, by a periodic background
-sweep (``checkpoint_interval``), on explicit ``checkpoint`` ops, and on
-graceful shutdown — always under the stream lock, so every checkpoint is a
-consistent between-chunks snapshot.
+Durability: checkpoints are performed by a dedicated background *writer
+task*, off the ingest hot path.  Workers merely *request* a write once
+``checkpoint_events`` events have accumulated; the periodic sweep
+(``checkpoint_interval``) and explicit ``checkpoint`` ops feed the same
+machinery.  A failed write marks the stream *degraded* (telemetry:
+``last_checkpoint_error`` / ``checkpoint_failure_streak``) and is retried
+on an exponential backoff schedule — never re-attempted on every chunk,
+and never fatal to the worker; the next successful write clears the
+degraded state.  Graceful shutdown still checkpoints every stream.
+
+Idempotent ingest: ``ingest`` / ``advance`` may carry a per-stream
+monotonic ``seq``.  Already-seen sequence numbers (the applied high-water
+mark persisted in checkpoints, plus a bounded window of recently enqueued
+ones) are acknowledged as duplicates without re-applying, making client
+retries after ambiguous transport failures exactly-once.
 
 Deferred errors: because ingestion is acknowledged before it is applied, an
 out-of-order chunk fails *after* its response was sent.  Such failures are
 kept per stream and surfaced on the next ``flush`` / ``telemetry`` response
 instead of vanishing.
+
+Health: the ``health`` op aggregates per-stream liveness (queue depth,
+deferred errors, checkpoint staleness, degraded state, watchdog stall
+flags); a background watchdog flags workers stuck applying one chunk for
+longer than ``watchdog_stall_seconds``.
+
+Fault injection: when the :class:`~repro.service.config.ServiceConfig`
+carries a :class:`~repro.service.faults.FaultPlan`, the server threads a
+:class:`~repro.service.faults.FaultInjector` through its checkpoint writer,
+worker apply loop, connection handler, and ingest path — the chaos suites
+drive scripted failures through exactly the code paths production takes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
+import time
+from collections import OrderedDict
 from typing import Any
 
 from repro.exceptions import ReproError, ServiceError
 from repro.service.config import ServiceConfig
+from repro.service.faults import FaultInjector
 from repro.service.manager import ServiceManager
 from repro.service.protocol import (
     MAX_REQUEST_BYTES,
@@ -45,10 +70,11 @@ from repro.service.protocol import (
     ok_response,
     parse_records,
 )
+from repro.stream import checkpoint as checkpoint_module
 
 
 class _StreamWorker:
-    """Queue + lock + apply-loop of one stream."""
+    """Queue + lock + apply-loop + seq-dedup window of one stream."""
 
     def __init__(self, server: "StreamingServer", stream_id: str) -> None:
         self.stream_id = stream_id
@@ -57,6 +83,18 @@ class _StreamWorker:
         )
         self.lock = asyncio.Lock()
         self.deferred_errors: list[str] = []
+        #: Recently accepted (enqueued or applied) ingest seqs, oldest first.
+        self.seen_seqs: OrderedDict[int, bool] = OrderedDict()
+        #: Highest seq ever accepted on this stream (monotonicity guard);
+        #: starts at the session's applied high-water mark so a recovered
+        #: stream keeps deduplicating across the restart.
+        self.max_seq_seen = server.manager.get(stream_id).last_seq
+        #: ``time.monotonic()`` at which the in-flight apply began
+        #: (``None`` while idle) — the watchdog's stall signal.
+        self.busy_since: float | None = None
+        #: Set by the watchdog when one apply exceeds the stall threshold;
+        #: cleared when the apply finally completes.
+        self.stalled = False
         self._server = server
         self._task: asyncio.Task | None = None
 
@@ -75,34 +113,207 @@ class _StreamWorker:
         errors, self.deferred_errors = self.deferred_errors, []
         return errors
 
+    # ------------------------------------------------------------------
+    # Idempotent-ingest bookkeeping
+    # ------------------------------------------------------------------
+    def note_seq(self, seq: int) -> None:
+        """Remember an accepted seq (bounded dedup window)."""
+        self.seen_seqs[seq] = True
+        if seq > self.max_seq_seen:
+            self.max_seq_seen = seq
+        limit = self._server.manager.config.dedup_window
+        while len(self.seen_seqs) > limit:
+            self.seen_seqs.popitem(last=False)
+
+    def _forget_seq(self, seq: int | None) -> None:
+        """Drop a failed seq so an intentional retry is re-applied, not
+        silently swallowed as a duplicate."""
+        if seq is not None:
+            self.seen_seqs.pop(seq, None)
+
     async def _run(self) -> None:
-        manager = self._server.manager
+        server = self._server
+        manager = server.manager
         checkpoint_events = manager.config.checkpoint_events
         while True:
-            kind, payload = await self.queue.get()
+            kind, payload, seq = await self.queue.get()
+            self.busy_since = time.monotonic()
             try:
                 session = manager.get(self.stream_id)
                 async with self.lock:
+                    faults = server.faults
+                    if faults is not None:
+                        stall = faults.check(
+                            "worker.stall", stream=self.stream_id
+                        )
+                        if stall is not None and stall.kind == "delay":
+                            await asyncio.sleep(stall.delay)
+                        action = faults.check("apply", stream=self.stream_id)
+                        if action is not None:
+                            action.raise_fault()
                     if kind == "ingest":
                         await asyncio.to_thread(session.ingest, payload)
                     else:  # "advance"
                         await asyncio.to_thread(session.advance, payload)
+                    if seq is not None and seq > session.last_seq:
+                        session.last_seq = seq
                     if (
                         checkpoint_events is not None
                         and session.telemetry.events_since_checkpoint
                         >= checkpoint_events
                     ):
-                        await asyncio.to_thread(
-                            manager.checkpoint_stream, self.stream_id
-                        )
+                        server.request_checkpoint(self.stream_id)
             except asyncio.CancelledError:
                 raise
             except ServiceError as error:
+                self._forget_seq(seq)
                 self.deferred_errors.append(f"{error.code}: {error}")
             except Exception as error:  # keep the worker alive
+                self._forget_seq(seq)
                 self.deferred_errors.append(f"internal: {error!r}")
             finally:
+                self.stalled = False
+                self.busy_since = None
                 self.queue.task_done()
+
+
+class _CheckpointWriter:
+    """Dedicated background checkpoint writer (off the ingest hot path).
+
+    Workers, the periodic sweep, and count triggers *request* writes here;
+    one task performs them under the stream lock.  Failure isolation: a
+    failed write leaves the stream live and degraded
+    (:meth:`~repro.service.session.StreamSession.save` records the error on
+    its telemetry) and is retried after
+    ``checkpoint_retry_backoff * 2**(streak-1)`` seconds (capped at
+    ``checkpoint_retry_max``); count-triggered requests arriving during the
+    backoff are coalesced into that retry instead of hammering the disk on
+    every chunk.
+    """
+
+    def __init__(self, server: "StreamingServer") -> None:
+        self._server = server
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._pending: set[str] = set()
+        self._idle: dict[str, asyncio.Event] = {}
+        self._retry_not_before: dict[str, float] = {}
+        self._retry_handles: dict[str, asyncio.TimerHandle] = {}
+        self._task: asyncio.Task | None = None
+
+    def ensure_running(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def request(self, stream_id: str, force: bool = False) -> None:
+        """Ask for one background checkpoint of ``stream_id``.
+
+        Coalesces: a no-op while a write for the stream is already queued
+        or in flight, and — unless ``force`` — while the stream is inside
+        its failure backoff window (the scheduled retry will cover it).
+        """
+        if stream_id in self._pending:
+            return
+        if not force and time.monotonic() < self._retry_not_before.get(
+            stream_id, 0.0
+        ):
+            return
+        self.ensure_running()
+        self._pending.add(stream_id)
+        self._idle.setdefault(stream_id, asyncio.Event()).clear()
+        self._queue.put_nowait(stream_id)
+
+    async def wait_idle(self, stream_id: str) -> None:
+        """Barrier: wait until no write for ``stream_id`` is queued/in flight
+        (scheduled backoff retries are *not* waited for)."""
+        event = self._idle.get(stream_id)
+        if event is not None:
+            await event.wait()
+
+    def forget(self, stream_id: str) -> None:
+        """Drop retry state for a removed stream."""
+        handle = self._retry_handles.pop(stream_id, None)
+        if handle is not None:
+            handle.cancel()
+        self._retry_not_before.pop(stream_id, None)
+
+    async def stop(self) -> None:
+        """Finish queued writes, cancel retries, and stop the task."""
+        for handle in self._retry_handles.values():
+            handle.cancel()
+        self._retry_handles.clear()
+        self._retry_not_before.clear()
+        if self._task is not None and not self._task.done():
+            await self._queue.join()
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+        self._pending.clear()
+        for event in self._idle.values():
+            event.set()
+
+    async def _run(self) -> None:
+        while True:
+            stream_id = await self._queue.get()
+            try:
+                await self._write(stream_id)
+            finally:
+                self._pending.discard(stream_id)
+                event = self._idle.get(stream_id)
+                if event is not None:
+                    event.set()
+                self._queue.task_done()
+
+    async def _write(self, stream_id: str) -> None:
+        server = self._server
+        if stream_id not in server.manager:
+            return  # dropped while the request was queued
+        worker = server._workers.get(stream_id)
+        try:
+            if worker is None:
+                await asyncio.to_thread(
+                    server.manager.checkpoint_stream, stream_id
+                )
+            else:
+                async with worker.lock:
+                    await asyncio.to_thread(
+                        server.manager.checkpoint_stream, stream_id
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # session.save already recorded the failure on the stream's
+            # telemetry (degraded state); schedule the backoff retry.
+            self._schedule_retry(stream_id)
+        else:
+            self.forget(stream_id)
+
+    def _schedule_retry(self, stream_id: str) -> None:
+        config = self._server.manager.config
+        try:
+            streak = self._server.manager.get(
+                stream_id
+            ).telemetry.checkpoint_failure_streak
+        except ServiceError:
+            return
+        delay = min(
+            config.checkpoint_retry_max,
+            config.checkpoint_retry_backoff * (2 ** max(streak - 1, 0)),
+        )
+        self._retry_not_before[stream_id] = time.monotonic() + delay
+        old = self._retry_handles.pop(stream_id, None)
+        if old is not None:
+            old.cancel()
+        self._retry_handles[stream_id] = asyncio.get_running_loop().call_later(
+            delay, self._fire_retry, stream_id
+        )
+
+    def _fire_retry(self, stream_id: str) -> None:
+        self._retry_handles.pop(stream_id, None)
+        self._retry_not_before.pop(stream_id, None)
+        if stream_id in self._server.manager:
+            self.request(stream_id, force=True)
 
 
 class StreamingServer:
@@ -123,8 +334,21 @@ class StreamingServer:
         self.port = port
         self._server: asyncio.AbstractServer | None = None
         self._workers: dict[str, _StreamWorker] = {}
+        self._writer = _CheckpointWriter(self)
         self._checkpoint_task: asyncio.Task | None = None
+        self._watchdog_task: asyncio.Task | None = None
         self._shutdown = asyncio.Event()
+        plan = self.manager.config.fault_plan
+        #: Active fault injector (``None`` outside chaos runs).
+        self.faults: FaultInjector | None = (
+            FaultInjector(plan) if plan is not None else None
+        )
+        self._hook_installed = False
+        if self.faults is not None:
+            checkpoint_module.install_write_fault_hook(
+                self.faults.checkpoint_write_hook
+            )
+            self._hook_installed = True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -151,6 +375,11 @@ class StreamingServer:
             self._checkpoint_task = asyncio.get_running_loop().create_task(
                 self._checkpoint_loop(interval)
             )
+        threshold = self.manager.config.watchdog_stall_seconds
+        if threshold > 0:
+            self._watchdog_task = asyncio.get_running_loop().create_task(
+                self._watchdog_loop(threshold)
+            )
         return self.address
 
     async def serve_until_shutdown(self) -> None:
@@ -164,15 +393,21 @@ class StreamingServer:
 
     async def stop(self) -> None:
         """Graceful stop: drain queues, checkpoint everything, close."""
-        if self._checkpoint_task is not None:
-            self._checkpoint_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._checkpoint_task
-            self._checkpoint_task = None
+        for task_attr in ("_checkpoint_task", "_watchdog_task"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+                setattr(self, task_attr, None)
         for worker in self._workers.values():
             await worker.queue.join()
             await worker.stop()
+        await self._writer.stop()
         await asyncio.to_thread(self.manager.checkpoint_all)
+        if self._hook_installed:
+            checkpoint_module.install_write_fault_hook(None)
+            self._hook_installed = False
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -182,16 +417,32 @@ class StreamingServer:
         while True:
             await asyncio.sleep(interval)
             for stream_id in self.manager.stream_ids:
-                worker = self._workers.get(stream_id)
-                if worker is None:
-                    await asyncio.to_thread(
-                        self.manager.checkpoint_stream, stream_id
-                    )
-                    continue
-                async with worker.lock:
-                    await asyncio.to_thread(
-                        self.manager.checkpoint_stream, stream_id
-                    )
+                self._writer.request(stream_id)
+
+    async def _watchdog_loop(self, threshold: float) -> None:
+        """Flag workers stuck applying one chunk longer than ``threshold``."""
+        interval = max(min(threshold / 4.0, 1.0), 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for stream_id, worker in list(self._workers.items()):
+                busy_since = worker.busy_since
+                if (
+                    busy_since is not None
+                    and not worker.stalled
+                    and now - busy_since >= threshold
+                ):
+                    worker.stalled = True
+                    with contextlib.suppress(ServiceError):
+                        self.manager.get(
+                            stream_id
+                        ).telemetry.stalls_detected += 1
+
+    def request_checkpoint(self, stream_id: str) -> None:
+        """Hand a stream to the background checkpoint writer (no-op without
+        a checkpoint root)."""
+        if self.manager.config.root_path is not None:
+            self._writer.request(stream_id)
 
     # ------------------------------------------------------------------
     # Per-stream plumbing
@@ -218,6 +469,23 @@ class StreamingServer:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
+    @staticmethod
+    def _peek_request(line: bytes) -> tuple[str | None, str | None]:
+        """Best-effort ``(op, stream)`` of a raw request line (fault
+        matching only; real validation happens in ``decode_request``)."""
+        try:
+            payload = json.loads(line)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None, None
+        if not isinstance(payload, dict):
+            return None, None
+        op = payload.get("op")
+        stream = payload.get("stream")
+        return (
+            op if isinstance(op, str) else None,
+            str(stream) if stream is not None else None,
+        )
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -240,7 +508,26 @@ class StreamingServer:
                     break
                 if not line.strip():
                     continue
+                reset = None
+                if self.faults is not None:
+                    op, stream = self._peek_request(line)
+                    reset = self.faults.check(
+                        "connection.reset", stream=stream, op=op
+                    )
+                if reset is not None and reset.kind == "delay":
+                    # Slow response: the op proceeds, the client may time out.
+                    await asyncio.sleep(reset.delay)
+                    reset = None
+                if reset is not None and reset.stage == "request":
+                    # Drop the request before any processing happened.
+                    writer.transport.abort()
+                    break
                 response = await self._dispatch_safely(line)
+                if reset is not None:
+                    # The op was applied; its ack is lost — the ambiguous
+                    # failure idempotent retries exist for.
+                    writer.transport.abort()
+                    break
                 writer.write(encode_message(response))
                 await writer.drain()
                 if response.get("shutdown"):
@@ -280,15 +567,26 @@ class StreamingServer:
         if op == "create_stream":
             return await self._op_create(request)
         if op == "checkpoint_all":
-            written = []
+            written: list[str] = []
+            failed: dict[str, str] = {}
             for stream_id in self.manager.stream_ids:
                 worker = self._worker(stream_id)
-                async with worker.lock:
-                    await asyncio.to_thread(
-                        self.manager.checkpoint_stream, stream_id
-                    )
+                try:
+                    async with worker.lock:
+                        await asyncio.to_thread(
+                            self.manager.checkpoint_stream, stream_id
+                        )
+                except Exception as error:
+                    failed[stream_id] = f"{type(error).__name__}: {error}"
+                    continue
                 written.append(stream_id)
-            return ok_response(checkpointed=written)
+            return ok_response(checkpointed=written, failed=failed)
+        if op == "health":
+            if request.get("stream") is None:
+                return self._op_health_service()
+            return ok_response(
+                **self._stream_health(str(request["stream"]))
+            )
         if op == "shutdown":
             return ok_response(shutdown=True)
 
@@ -309,6 +607,9 @@ class StreamingServer:
             return ok_response(**result)
         if op == "flush":
             await worker.queue.join()
+            # Flush is also a durability barrier: requested checkpoint
+            # writes land before the response (backoff retries excluded).
+            await self._writer.wait_idle(stream_id)
             return ok_response(
                 clock=None if session.clock == float("-inf") else session.clock,
                 events_applied=session.telemetry.events_applied,
@@ -351,6 +652,7 @@ class StreamingServer:
             await worker.queue.join()
             await worker.stop()
             self._workers.pop(stream_id, None)
+            self._writer.forget(stream_id)
             await asyncio.to_thread(
                 self.manager.drop_stream,
                 stream_id,
@@ -368,14 +670,147 @@ class StreamingServer:
         self._worker(stream_id)
         return ok_response(stream=stream_id, phase=session.phase)
 
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def _stream_health(self, stream_id: str) -> dict[str, Any]:
+        """Liveness/readiness snapshot of one stream (lock-free on purpose:
+        health must answer even while an apply is stalled under the lock)."""
+        session = self.manager.get(stream_id)
+        telemetry = session.telemetry
+        worker = self._workers.get(stream_id)
+        config = self.manager.config
+        busy_since = worker.busy_since if worker is not None else None
+        busy_seconds = (
+            time.monotonic() - busy_since if busy_since is not None else None
+        )
+        threshold = config.watchdog_stall_seconds
+        stalled = bool(worker is not None and worker.stalled) or (
+            threshold > 0
+            and busy_seconds is not None
+            and busy_seconds >= threshold
+        )
+        checkpoint_stale = (
+            config.checkpoint_events is not None
+            and config.root_path is not None
+            and telemetry.events_since_checkpoint
+            >= 2 * config.checkpoint_events
+        )
+        degraded = telemetry.degraded or checkpoint_stale
+        status = "stalled" if stalled else "degraded" if degraded else "ok"
+        return {
+            "stream": stream_id,
+            "status": status,
+            "phase": session.phase,
+            "queue_depth": worker.queue.qsize() if worker is not None else 0,
+            "deferred_errors": (
+                len(worker.deferred_errors) if worker is not None else 0
+            ),
+            "degraded": telemetry.degraded,
+            "last_checkpoint_error": telemetry.last_checkpoint_error,
+            "checkpoint_failures": telemetry.checkpoint_failures,
+            "checkpoint_age": telemetry.checkpoint_age,
+            "checkpoint_stale": bool(checkpoint_stale),
+            "events_since_checkpoint": telemetry.events_since_checkpoint,
+            "apply_busy_seconds": busy_seconds,
+            "stalled": stalled,
+            "stalls_detected": telemetry.stalls_detected,
+            "last_seq": session.last_seq,
+        }
+
+    def _op_health_service(self) -> dict[str, Any]:
+        """Service-wide health: worst stream status wins."""
+        rows = [
+            self._stream_health(stream_id)
+            for stream_id in self.manager.stream_ids
+        ]
+        degraded = [row["stream"] for row in rows if row["status"] == "degraded"]
+        stalled = [row["stream"] for row in rows if row["status"] == "stalled"]
+        status = "stalled" if stalled else "degraded" if degraded else "ok"
+        payload: dict[str, Any] = {
+            "status": status,
+            "streams": {
+                "total": len(rows),
+                "ok": len(rows) - len(degraded) - len(stalled),
+                "degraded": degraded,
+                "stalled": stalled,
+            },
+        }
+        if self.faults is not None:
+            payload["faults"] = self.faults.report()
+        return ok_response(**payload)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _accept_seq(
+        self,
+        worker: _StreamWorker,
+        session,
+        request: dict[str, Any],
+    ) -> tuple[int | None, dict[str, Any] | None]:
+        """Validate an optional ``seq``; returns ``(seq, duplicate_response)``.
+
+        A ``seq`` at or below the applied high-water mark, or inside the
+        recent-seq window (enqueued but not yet applied), is a duplicate:
+        acknowledged without re-applying.  A ``seq`` below the highest one
+        seen that is *not* a known duplicate is refused (``conflict``) —
+        it would silently reorder the stream.
+        """
+        raw = request.get("seq")
+        if raw is None:
+            return None, None
+        try:
+            seq = int(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                "bad_request", f"seq must be an integer, got {raw!r}"
+            ) from None
+        if seq < 1:
+            raise ServiceError(
+                "bad_request", f"seq must be >= 1, got {seq}"
+            )
+        if seq <= session.last_seq or seq in worker.seen_seqs:
+            session.telemetry.duplicates_skipped += 1
+            return seq, ok_response(
+                duplicate=True,
+                queued=0,
+                depth=worker.queue.qsize(),
+                seq=seq,
+            )
+        if seq < worker.max_seq_seen:
+            raise ServiceError(
+                "conflict",
+                f"non-monotonic seq {seq} on stream "
+                f"{worker.stream_id!r}: {worker.max_seq_seen} was already "
+                "accepted",
+            )
+        return seq, None
+
+    def _check_injected_overload(self, stream_id: str, session, op: str) -> None:
+        if self.faults is None:
+            return
+        action = self.faults.check(
+            "ingest.overload", stream=stream_id, op=op
+        )
+        if action is not None:
+            session.telemetry.overload_rejections += 1
+            raise ServiceError(
+                "overloaded", f"{action.message}; retry after a flush"
+            )
+
     def _op_ingest(
         self, stream_id: str, request: dict[str, Any]
     ) -> dict[str, Any]:
         worker = self._worker(stream_id)
         session = self.manager.get(stream_id)
         records = parse_records(self._require(request, "records"))
+        seq, duplicate = self._accept_seq(worker, session, request)
+        if duplicate is not None:
+            return duplicate
+        self._check_injected_overload(stream_id, session, "ingest")
         try:
-            worker.queue.put_nowait(("ingest", records))
+            worker.queue.put_nowait(("ingest", records, seq))
         except asyncio.QueueFull:
             session.telemetry.overload_rejections += 1
             raise ServiceError(
@@ -383,7 +818,15 @@ class StreamingServer:
                 f"stream {stream_id!r}'s ingest queue is full "
                 f"({worker.queue.maxsize} chunks); retry after a flush",
             ) from None
-        return ok_response(queued=len(records), depth=worker.queue.qsize())
+        if seq is not None:
+            worker.note_seq(seq)
+        response = ok_response(
+            queued=len(records), depth=worker.queue.qsize()
+        )
+        if seq is not None:
+            response["seq"] = seq
+            response["duplicate"] = False
+        return response
 
     def _op_advance(
         self, stream_id: str, request: dict[str, Any]
@@ -391,8 +834,12 @@ class StreamingServer:
         worker = self._worker(stream_id)
         session = self.manager.get(stream_id)
         to_time = float(self._require(request, "time"))
+        seq, duplicate = self._accept_seq(worker, session, request)
+        if duplicate is not None:
+            return duplicate
+        self._check_injected_overload(stream_id, session, "advance")
         try:
-            worker.queue.put_nowait(("advance", to_time))
+            worker.queue.put_nowait(("advance", to_time, seq))
         except asyncio.QueueFull:
             session.telemetry.overload_rejections += 1
             raise ServiceError(
@@ -400,7 +847,13 @@ class StreamingServer:
                 f"stream {stream_id!r}'s ingest queue is full "
                 f"({worker.queue.maxsize} chunks); retry after a flush",
             ) from None
-        return ok_response(depth=worker.queue.qsize())
+        if seq is not None:
+            worker.note_seq(seq)
+        response = ok_response(depth=worker.queue.qsize())
+        if seq is not None:
+            response["seq"] = seq
+            response["duplicate"] = False
+        return response
 
 
 async def serve(

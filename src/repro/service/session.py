@@ -98,6 +98,10 @@ class StreamSession:
         #: applied (or, while buffering, the newest buffered record's time).
         #: Ingests must not go backwards past it.
         self.clock = float("-inf")
+        #: High-water mark of *applied* idempotent ingest sequence numbers
+        #: (0 = none yet).  Persisted in checkpoints, so after a crash the
+        #: mark rolls back with the state and retried chunks re-apply.
+        self.last_seq = 0
 
     # ------------------------------------------------------------------
     # Phase and identity
@@ -416,7 +420,6 @@ class StreamSession:
         :meth:`load`.
         """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         meta: dict[str, Any] = {
             "format": _META_FORMAT,
             "version": _META_VERSION,
@@ -426,27 +429,55 @@ class StreamSession:
         }
         # Count the checkpoint first so the persisted counters include it (a
         # restored stream then reports the write that produced its state).
+        # On failure the bump is rolled back and the failure recorded
+        # instead: the stream is then *degraded*, never half-counted.
+        rollback = (
+            self.telemetry.checkpoints_written,
+            self.telemetry.events_since_checkpoint,
+            self.telemetry.last_checkpoint_time,
+            self.telemetry.checkpoint_failure_streak,
+            self.telemetry.last_checkpoint_error,
+        )
         self.telemetry.record_checkpoint()
-        if self.is_live:
-            processor = self._processor
-            assert processor is not None
-            processor.save_checkpoint(
-                directory / _STATE_DIR,
-                model=self._model,
-                extra={
-                    "clock": self.clock,
-                    "detector": self._detector.state_dict(),
-                    "telemetry": self.telemetry.to_dict(),
-                },
-            )
-        else:
-            meta["clock"] = None if self.clock == float("-inf") else self.clock
-            meta["buffer"] = [
-                [list(record.indices), record.value, record.time]
-                for record in self._buffer
-            ]
-            meta["telemetry"] = self.telemetry.to_dict()
-        _write_json_atomic(directory / "meta.json", meta)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            if self.is_live:
+                processor = self._processor
+                assert processor is not None
+                processor.save_checkpoint(
+                    directory / _STATE_DIR,
+                    model=self._model,
+                    extra={
+                        "clock": self.clock,
+                        "last_seq": self.last_seq,
+                        "detector": self._detector.state_dict(),
+                        "telemetry": self.telemetry.to_dict(),
+                    },
+                )
+            else:
+                meta["clock"] = (
+                    None if self.clock == float("-inf") else self.clock
+                )
+                meta["last_seq"] = self.last_seq
+                meta["buffer"] = [
+                    [list(record.indices), record.value, record.time]
+                    for record in self._buffer
+                ]
+                meta["telemetry"] = self.telemetry.to_dict()
+            _write_json_atomic(directory / "meta.json", meta)
+        except BaseException as error:
+            (
+                self.telemetry.checkpoints_written,
+                self.telemetry.events_since_checkpoint,
+                self.telemetry.last_checkpoint_time,
+                self.telemetry.checkpoint_failure_streak,
+                self.telemetry.last_checkpoint_error,
+            ) = rollback
+            if isinstance(error, Exception):
+                self.telemetry.record_checkpoint_failure(
+                    f"{type(error).__name__}: {error}"
+                )
+            raise
         return directory
 
     @classmethod
@@ -503,6 +534,7 @@ class StreamSession:
                 ) from error
             clock = meta.get("clock")
             session.clock = float("-inf") if clock is None else float(clock)
+            session.last_seq = int(meta.get("last_seq", 0) or 0)
             session.telemetry = StreamTelemetry.from_dict(
                 meta.get("telemetry", {})
             )
@@ -530,6 +562,7 @@ class StreamSession:
         session.clock = (
             float(clock) if clock is not None else processor.ingest_horizon
         )
+        session.last_seq = int(extra.get("last_seq", 0) or 0)
         if "detector" in extra:
             session._detector = ZScoreDetector.from_state(extra["detector"])
         else:

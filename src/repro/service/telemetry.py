@@ -40,6 +40,18 @@ class StreamTelemetry:
     events_since_checkpoint: int = 0
     #: Unix time of the last checkpoint write (0.0 = never).
     last_checkpoint_time: float = 0.0
+    #: Checkpoint write attempts that failed (lifetime).
+    checkpoint_failures: int = 0
+    #: Consecutive failed checkpoint attempts since the last success
+    #: (drives the background writer's retry backoff).
+    checkpoint_failure_streak: int = 0
+    #: Human-readable cause of the most recent checkpoint failure, cleared
+    #: by the next successful write.  Non-``None`` == the stream is degraded.
+    last_checkpoint_error: str | None = None
+    #: Duplicate ingest/advance requests skipped by seq-based dedup.
+    duplicates_skipped: int = 0
+    #: Stall episodes flagged by the worker watchdog.
+    stalls_detected: int = 0
     #: Cumulative seconds spent applying chunks (extend + drain + score).
     apply_seconds: float = 0.0
     #: Cumulative seconds spent serving read queries.
@@ -66,6 +78,20 @@ class StreamTelemetry:
         self.checkpoints_written += 1
         self.events_since_checkpoint = 0
         self.last_checkpoint_time = time.time()
+        self.checkpoint_failure_streak = 0
+        self.last_checkpoint_error = None
+
+    def record_checkpoint_failure(self, message: str) -> None:
+        """Account one failed checkpoint attempt; marks the stream degraded."""
+        self.checkpoint_failures += 1
+        self.checkpoint_failure_streak += 1
+        self.last_checkpoint_error = str(message)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the last checkpoint attempt failed (durability at risk:
+        ingestion keeps running, but a crash would lose more than expected)."""
+        return self.last_checkpoint_error is not None
 
     @property
     def checkpoint_age(self) -> float | None:
@@ -75,9 +101,10 @@ class StreamTelemetry:
         return max(time.time() - self.last_checkpoint_time, 0.0)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable snapshot (includes the derived checkpoint age)."""
+        """JSON-serialisable snapshot (includes the derived fields)."""
         payload = dataclasses.asdict(self)
         payload["checkpoint_age"] = self.checkpoint_age
+        payload["degraded"] = self.degraded
         return payload
 
     @classmethod

@@ -281,6 +281,27 @@ def sweep_stale_sibling_dirs(path: str | Path) -> list[Path]:
     return swept
 
 
+#: Optional test/chaos hook called by :func:`_atomic_write_directory` at
+#: each write stage (``begin`` / ``arrays`` / ``manifest`` / ``commit``)
+#: with ``(path, stage)``.  The service's fault-injection harness installs
+#: one to script mid-write ``OSError`` / ``ENOSPC`` / slow-write faults;
+#: anything it raises propagates exactly like a real filesystem error (the
+#: temp directory is cleaned up, the previous checkpoint survives).
+_write_fault_hook = None
+
+
+def install_write_fault_hook(hook) -> None:
+    """Install (or, with ``None``, remove) the checkpoint write-fault hook."""
+    global _write_fault_hook
+    _write_fault_hook = hook
+
+
+def _write_stage(path: Path, stage: str) -> None:
+    hook = _write_fault_hook
+    if hook is not None:
+        hook(path, stage)
+
+
 def _atomic_write_directory(
     path: Path, manifest: dict[str, Any], arrays: dict[str, np.ndarray]
 ) -> Path:
@@ -292,6 +313,7 @@ def _atomic_write_directory(
     ``.old-*`` siblings left by a previously killed writer are swept first.
     """
     sweep_stale_sibling_dirs(path)
+    _write_stage(path, "begin")
     temp_dir = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     if temp_dir.exists():
         shutil.rmtree(temp_dir)
@@ -299,9 +321,11 @@ def _atomic_write_directory(
     try:
         with open(temp_dir / ARRAYS_FILENAME, "wb") as handle:
             np.savez(handle, **arrays)
+        _write_stage(path, "arrays")
         (temp_dir / MANIFEST_FILENAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True)
         )
+        _write_stage(path, "manifest")
         if path.exists():
             retired = path.with_name(f"{path.name}.old-{os.getpid()}")
             if retired.exists():
@@ -311,6 +335,9 @@ def _atomic_write_directory(
             shutil.rmtree(retired)
         else:
             temp_dir.rename(path)
+        # After the swap: a fault here models "the write landed but the
+        # writer saw an error" — the ambiguous success retries must tolerate.
+        _write_stage(path, "commit")
     except BaseException:
         shutil.rmtree(temp_dir, ignore_errors=True)
         raise

@@ -10,7 +10,7 @@ import pytest
 # The test tree is not a package; make `import helpers` work everywhere.
 sys.path.insert(0, os.path.dirname(__file__))
 
-from helpers import tiny_config  # noqa: E402
+from helpers import ServerProcess, tiny_config  # noqa: E402
 
 from repro.service.config import ServiceConfig  # noqa: E402
 
@@ -18,6 +18,21 @@ from repro.service.config import ServiceConfig  # noqa: E402
 @pytest.fixture
 def stream_config():
     return tiny_config()
+
+
+@pytest.fixture
+def launch():
+    """Factory of ``repro serve`` subprocesses, cleaned up on teardown."""
+    processes: list[ServerProcess] = []
+
+    def _launch(*extra_args: str) -> ServerProcess:
+        process = ServerProcess(*extra_args)
+        processes.append(process)
+        return process
+
+    yield _launch
+    for process in processes:
+        process.cleanup()
 
 
 @pytest.fixture

@@ -7,10 +7,19 @@ few ALS iterations) so that multi-stream scenarios — including the
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
+import sys
+import time
+
 import numpy as np
 
+from repro.service.client import ServiceClient
 from repro.service.config import StreamConfig
 from repro.stream.events import StreamRecord
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
 
 #: Geometry shared by most service tests: W*T = 15, so records in [0, 15)
 #: fill the initial window and the stream goes live at t=15.
@@ -64,3 +73,51 @@ def live_chunks(n_chunks: int = 3, seed: int = 2) -> list[list[StreamRecord]]:
     """Chronological post-warm-up chunks (t > 15) for a TINY stream."""
     records = make_records(n_chunks * 8, start=15.25, spacing=0.25, seed=seed)
     return [records[i * 8 : (i + 1) * 8] for i in range(n_chunks)]
+
+
+class ServerProcess:
+    """A ``python -m repro.service`` subprocess bound to a free port."""
+
+    def __init__(self, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC, env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--port", "0", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self) -> int:
+        deadline = time.monotonic() + 30.0
+        assert self.process.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("listening on "):
+                return int(line.rsplit(":", 1)[1])
+        raise AssertionError(
+            f"server never announced its port (rc={self.process.poll()})"
+        )
+
+    def client(self, timeout: float = 60.0, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, timeout=timeout, **kwargs)
+
+    def kill(self) -> None:
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=10.0)
+
+    def wait(self, timeout: float = 30.0) -> int:
+        return self.process.wait(timeout=timeout)
+
+    def cleanup(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+        if self.process.stdout is not None:
+            self.process.stdout.close()

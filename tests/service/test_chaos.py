@@ -1,0 +1,150 @@
+"""Chaos equivalence over real TCP: a scripted fault plan plus a retrying
+client must converge to the exact fault-free state.
+
+This is the acceptance test for the whole robustness stack working
+together: the server injects connection resets before AND after the
+ingest is applied, synthetic overloads, a failing checkpoint write, and a
+worker stall — while an ``auto_seq`` retrying client just keeps feeding
+records.  At the end, every stream's factors must be bit-identical to the
+sequential fault-free reference and every record must have been applied
+exactly once (resets after apply are absorbed by seq dedup, resets before
+apply by the retry).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from helpers import live_chunks, tiny_config, warm_records, wire_records
+from test_server import sequential_reference
+
+N_CHUNKS = 4
+STREAMS = ("tenant-0", "tenant-1", "tenant-2")
+
+
+def write_plan(tmp_path) -> str:
+    """A deterministic plan that provably fires on every stream.
+
+    Hits are counted per (rule, stream), so with five ingest requests per
+    stream in the fault-free schedule, ``hits: [2]`` aborts every
+    stream's second ingest — no probability involved, any seed replays.
+    """
+    plan = {
+        "seed": 1234,
+        "rules": [
+            # Reset BEFORE dispatch: the ingest never landed; the retry
+            # (same seq) must apply it exactly once.
+            {
+                "site": "connection.reset",
+                "stage": "request",
+                "ops": ["ingest"],
+                "hits": [2],
+            },
+            # Reset AFTER dispatch: the ingest DID land; the retry is a
+            # duplicate the server must ack without re-applying.
+            {
+                "site": "connection.reset",
+                "stage": "response",
+                "ops": ["ingest"],
+                "hits": [5],
+            },
+            # Synthetic backpressure: always retryable.  Hit 3 of the
+            # *dispatched* ingests is the third chunk send; its retry is
+            # then the request the response-stage reset (below, hit 5 of
+            # all ingest requests) aborts AFTER the apply — forcing the
+            # duplicate-ack path on the next retry.
+            {"site": "ingest.overload", "hits": [3]},
+            # Every stream's first checkpoint write dies on a full disk;
+            # the backoff retry must recover it off the hot path.
+            {
+                "site": "checkpoint.write",
+                "kind": "enospc",
+                "stage": "arrays",
+                "hits": [1],
+            },
+            # A stall long enough for the watchdog to notice.
+            {
+                "site": "worker.stall",
+                "kind": "delay",
+                "delay": 0.15,
+                "hits": [3],
+            },
+        ],
+    }
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan))
+    return str(path)
+
+
+class TestChaosEquivalence:
+    def test_faulted_run_converges_to_fault_free_state(self, launch, tmp_path):
+        server = launch(
+            "--fault-plan", write_plan(tmp_path),
+            "--checkpoint-root", str(tmp_path / "state"),
+            "--checkpoint-events", "20",
+            "--checkpoint-retry-backoff", "0.05",
+            "--watchdog-stall", "0.05",
+        )
+        inputs = {
+            stream: (
+                warm_records(seed=60 + position),
+                live_chunks(N_CHUNKS, seed=160 + position),
+            )
+            for position, stream in enumerate(STREAMS)
+        }
+        with server.client(
+            retries=8, auto_seq=True, backoff_base=0.01, backoff_max=0.2,
+            seed=99,
+        ) as client:
+            for stream, (warm, chunks) in inputs.items():
+                client.create_stream(stream, **tiny_config().to_dict())
+                client.ingest(stream, wire_records(warm))
+                client.start_stream(stream)
+                for chunk in chunks:
+                    client.ingest(stream, wire_records(chunk))
+                assert client.flush(stream)["deferred_errors"] == []
+            # The plan guarantees faults actually fired for every stream:
+            # one request-reset, one overload, one response-reset each.
+            assert client.retries_performed >= 3 * len(STREAMS)
+            assert client.reconnects >= 2 * len(STREAMS)
+
+            health = client.health()
+            fired = health["faults"]["fired_by_site"]
+            assert fired.get("connection.reset", 0) >= 2 * len(STREAMS)
+            assert fired.get("ingest.overload", 0) >= len(STREAMS)
+            assert fired.get("checkpoint.write", 0) >= len(STREAMS)
+            assert fired.get("worker.stall", 0) >= len(STREAMS)
+
+            for stream, (warm, chunks) in inputs.items():
+                telemetry = client.telemetry(stream)["telemetry"]
+                # Exactly once: not one record lost, not one re-applied.
+                expected = len(warm) + sum(len(c) for c in chunks)
+                assert telemetry["records_ingested"] == expected
+                # The post-apply reset forced at least one duplicate ack.
+                assert telemetry["duplicates_skipped"] >= 1
+
+                reference = sequential_reference(warm, chunks)
+                factors = client.factors(stream)["factors"]
+                for fa, fb in zip(factors, reference.factors()["factors"]):
+                    assert np.array_equal(np.array(fa), np.array(fb))
+
+            # Checkpoint retries recovered the ENOSPC failures: wait for
+            # the off-hot-path retry, then confirm health is clean again.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                health = client.health()
+                if health["status"] == "ok":
+                    break
+                time.sleep(0.1)
+            assert health["status"] == "ok"
+            for stream in STREAMS:
+                row = client.health(stream)
+                assert row["status"] == "ok"
+                assert row["checkpoint_failures"] >= 1  # it DID fail once
+                # auto_seq: warm ingest is seq 1, then one per chunk.
+                assert row["last_seq"] == 1 + N_CHUNKS
+            client.shutdown()
+        assert server.wait() == 0

@@ -1,0 +1,256 @@
+"""ServiceClient transport handling and retry policy, against a scripted
+TCP stub.
+
+The stub lets each test decide, per request line, whether the "server"
+answers normally, answers with an error, sends garbage, or drops the
+connection — the transport failures that are awkward to script through
+the real server.  Policy under test:
+
+* any transport failure poisons the connection (closed + reconnect on the
+  next call) — a late response can never be mis-read as the answer to the
+  next request (the desync bug);
+* transport failures raise the dedicated ``connection`` code, distinct
+  from server-side ``internal`` errors;
+* a response hitting the size cap with no trailing newline is a clear
+  truncated-response error, not a JSON parse error against half a line;
+* ``overloaded`` retries for every op; ``connection`` retries only for
+  safe (idempotent) ops — which includes ingest/advance iff they carry a
+  ``seq``.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceClient
+
+
+class StubServer:
+    """Scripted TCP peer: one scripted behaviour per incoming request.
+
+    Script entries:
+      ``("ok", fields)``   — answer ``{"ok": true, **fields}``
+      ``("err", code)``    — answer ``{"ok": false, "error": code, ...}``
+      ``("raw", data)``    — send ``data`` verbatim (bytes)
+      ``("raw_close", data)`` — send ``data`` verbatim, then drop the connection
+      ``("close",)``       — drop the connection without answering
+    An exhausted script answers ``{"ok": true}``.
+    """
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.script = collections.deque()
+        self.requests: list[dict] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return  # listener closed: test over
+            with conn:
+                # The reader must be closed before conn: makefile() holds
+                # the fd open, so conn.close() alone never sends FIN.
+                with conn.makefile("rb") as reader:
+                    self._run_script(conn, reader)
+
+    def _run_script(self, conn, reader):
+        for line in reader:
+            self.requests.append(json.loads(line))
+            entry = self.script.popleft() if self.script else ("ok", {})
+            kind = entry[0]
+            if kind == "close":
+                return
+            if kind == "raw_close":
+                conn.sendall(entry[1])
+                return
+            if kind == "raw":
+                conn.sendall(entry[1])
+            elif kind == "err":
+                conn.sendall(
+                    (
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": entry[1],
+                                "message": "scripted",
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+            else:
+                conn.sendall(
+                    (json.dumps({"ok": True, **entry[1]}) + "\n").encode()
+                )
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.fixture
+def stub():
+    server = StubServer()
+    yield server
+    server.close()
+
+
+def fast_client(stub_server, **kwargs) -> ServiceClient:
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("backoff_base", 0.001)
+    kwargs.setdefault("backoff_max", 0.01)
+    kwargs.setdefault("seed", 0)
+    return ServiceClient("127.0.0.1", stub_server.port, **kwargs)
+
+
+CHUNK = [[[0, 0], 1.0, 1.0]]
+
+
+class TestTransportFailures:
+    def test_dropped_connection_raises_connection_code(self, stub):
+        stub.script.append(("close",))
+        with fast_client(stub) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.ping()
+            assert excinfo.value.code == "connection"
+            # The connection was poisoned and closed...
+            assert client._socket is None
+            # ...and the next call transparently reconnects.
+            assert client.ping()["ok"]
+            assert client.reconnects == 1
+
+    def test_truncated_response_is_a_clear_error(self, stub):
+        # A response with no trailing newline (peer died mid-line, or the
+        # line hit the client's readline cap) must not be half-parsed.
+        stub.script.append(("raw_close", b'{"ok": true'))
+        with fast_client(stub) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.ping()
+            assert excinfo.value.code == "connection"
+            assert "truncated" in str(excinfo.value)
+            assert client._socket is None
+
+    def test_garbage_response_poisons_the_connection(self, stub):
+        stub.script.append(("raw", b"!!not json!!\n"))
+        with fast_client(stub) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.ping()
+            assert excinfo.value.code == "connection"
+            assert client._socket is None
+
+    def test_server_error_codes_pass_through_untouched(self, stub):
+        stub.script.append(("err", "unknown_stream"))
+        with fast_client(stub) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.factors("ghost")
+            assert excinfo.value.code == "unknown_stream"
+            # A real server answer does not poison the connection.
+            assert client._socket is not None
+
+
+class TestRetryPolicy:
+    def test_overloaded_is_retried_for_any_op(self, stub):
+        stub.script.append(("err", "overloaded"))
+        stub.script.append(("err", "overloaded"))
+        stub.script.append(("ok", {"queued": 1}))
+        with fast_client(stub, retries=5) as client:
+            response = client.ingest("s", CHUNK)  # no seq needed
+            assert response["queued"] == 1
+            assert client.retries_performed == 2
+
+    def test_seqless_ingest_is_not_connection_retried(self, stub):
+        """No seq = a connection retry could double-apply: fail fast."""
+        stub.script.append(("close",))
+        with fast_client(stub, retries=5) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.ingest("s", CHUNK)
+            assert excinfo.value.code == "connection"
+            assert client.retries_performed == 0
+
+    def test_ingest_with_seq_is_connection_retried(self, stub):
+        stub.script.append(("close",))
+        stub.script.append(("ok", {"queued": 1, "seq": 7, "duplicate": False}))
+        with fast_client(stub, retries=5) as client:
+            response = client.ingest("s", CHUNK, seq=7)
+            assert response["seq"] == 7
+            assert client.retries_performed == 1
+            assert client.reconnects == 1
+        # Both attempts carried the SAME seq: that is what makes the
+        # retry safe (the real server deduplicates the re-send).
+        sent = [r for r in stub.requests if r["op"] == "ingest"]
+        assert [r["seq"] for r in sent] == [7, 7]
+
+    def test_auto_seq_stamps_monotonic_per_stream(self, stub):
+        with fast_client(stub, retries=3, auto_seq=True) as client:
+            client.ingest("a", CHUNK)
+            client.ingest("a", CHUNK)
+            client.ingest("b", CHUNK)
+            client.advance("a", 99.0)
+        sent = [(r["op"], r["stream"], r["seq"]) for r in stub.requests]
+        assert sent == [
+            ("ingest", "a", 1),
+            ("ingest", "a", 2),
+            ("ingest", "b", 1),
+            ("advance", "a", 3),
+        ]
+
+    def test_explicit_seq_advances_the_auto_counter(self, stub):
+        with fast_client(stub, auto_seq=True) as client:
+            client.ingest("a", CHUNK, seq=10)
+            client.ingest("a", CHUNK)
+        assert [r["seq"] for r in stub.requests] == [10, 11]
+
+    def test_safe_ops_reconnect_and_retry(self, stub):
+        stub.script.append(("close",))
+        stub.script.append(("ok", {"pong": True}))
+        with fast_client(stub, retries=2) as client:
+            assert client.ping()["pong"]
+            assert client.retries_performed == 1
+
+    def test_unsafe_ops_are_not_connection_retried(self, stub):
+        stub.script.append(("close",))
+        with fast_client(stub, retries=5) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.create_stream("s", mode_sizes=[2], window_length=1,
+                                     period=1.0, rank=1)
+            assert excinfo.value.code == "connection"
+            assert client.retries_performed == 0
+
+    def test_non_retryable_codes_raise_immediately(self, stub):
+        stub.script.append(("err", "bad_request"))
+        with fast_client(stub, retries=5) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.flush("s")
+            assert excinfo.value.code == "bad_request"
+            assert client.retries_performed == 0
+
+    def test_deadline_bounds_total_retry_time(self, stub):
+        for _ in range(10):
+            stub.script.append(("err", "overloaded"))
+        with fast_client(
+            stub, retries=100, backoff_base=0.5, deadline=0.01
+        ) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.flush("s")
+            assert excinfo.value.code == "overloaded"
+            # The first backoff (0.5 s) alone would blow the 10 ms budget.
+            assert client.retries_performed == 0
+
+    def test_retries_zero_preserves_fail_fast(self, stub):
+        stub.script.append(("err", "overloaded"))
+        with fast_client(stub) as client:  # retries=0 default
+            with pytest.raises(ServiceError) as excinfo:
+                client.ingest("s", CHUNK)
+            assert excinfo.value.code == "overloaded"
+            assert client.retries_performed == 0

@@ -1,0 +1,239 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+The injector's whole value is *reproducibility*: the same plan must fire
+the same faults at the same hits, per stream, regardless of process or
+request interleaving — otherwise a chaos failure can never be replayed.
+"""
+
+from __future__ import annotations
+
+import errno
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InjectedFaultError
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+
+class TestFaultRule:
+    def test_defaults_per_site(self):
+        assert FaultRule(site="checkpoint.write", hits=[1]).kind == "enospc"
+        assert FaultRule(site="checkpoint.write", hits=[1]).stage == "begin"
+        assert FaultRule(site="apply", hits=[1]).kind == "exception"
+        assert (
+            FaultRule(site="connection.reset", hits=[1]).stage == "response"
+        )
+        assert FaultRule(site="ingest.overload", hits=[1]).kind == "overload"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(site="nowhere", hits=[1]),
+            dict(site="apply", kind="nonsense", hits=[1]),
+            dict(site="checkpoint.write", stage="nonsense", hits=[1]),
+            dict(site="apply", hits=[0]),
+            dict(site="apply"),  # no trigger at all
+            dict(site="apply", probability=1.5),
+            dict(site="apply", hits=[1], limit=0),
+            dict(site="worker.stall", kind="delay", hits=[1]),  # delay=0
+            dict(site="apply", hits=[1], streams="not-a-list"),
+        ],
+    )
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultRule(**kwargs)
+
+    def test_matching_filters(self):
+        rule = FaultRule(
+            site="connection.reset",
+            hits=[1],
+            streams=["tenant-*"],
+            ops=["ingest"],
+            stage="response",
+        )
+        assert rule.matches("tenant-3", "ingest", None)
+        assert rule.matches("tenant-3", "ingest", "response")
+        assert not rule.matches("other", "ingest", None)
+        assert not rule.matches(None, "ingest", None)
+        assert not rule.matches("tenant-3", "flush", None)
+        assert not rule.matches("tenant-3", None, None)
+        assert not rule.matches("tenant-3", "ingest", "request")
+
+
+class TestFaultPlan:
+    def test_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            rules=(
+                FaultRule(
+                    site="checkpoint.write",
+                    kind="enospc",
+                    streams=("s*",),
+                    stage="arrays",
+                    hits=(1, 3),
+                    limit=2,
+                    message="disk full",
+                ),
+                FaultRule(site="connection.reset", probability=0.25),
+            ),
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        path = tmp_path / "plan.json"
+        import json
+
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_file(path) == plan
+
+    def test_rejects_malformed_plans(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"bogus": 1})
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"rules": "nope"})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_file(bad)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_file(tmp_path / "missing.json")
+
+
+class TestFaultInjector:
+    def test_explicit_hits_fire_exactly_there(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="apply", hits=(2, 4)),)
+        )
+        injector = FaultInjector(plan)
+        fired = [
+            injector.check("apply", stream="s") is not None for _ in range(6)
+        ]
+        assert fired == [False, True, False, True, False, False]
+
+    def test_hits_are_counted_per_stream(self):
+        """One stream's fault schedule must not depend on how other
+        streams' requests interleave with it."""
+        plan = FaultPlan(rules=(FaultRule(site="apply", hits=(2,)),))
+        injector = FaultInjector(plan)
+        # Interleaved: a, b, a, b — each stream fires on ITS second hit.
+        results = [
+            (stream, injector.check("apply", stream=stream) is not None)
+            for stream in ("a", "b", "a", "b")
+        ]
+        assert results == [
+            ("a", False),
+            ("b", False),
+            ("a", True),
+            ("b", True),
+        ]
+
+    def test_probability_draws_are_reproducible(self):
+        plan = FaultPlan(
+            seed=7,
+            rules=(FaultRule(site="connection.reset", probability=0.3),),
+        )
+        schedule_one = [
+            FaultInjector(plan).check("connection.reset", stream="s")
+            is not None
+            for _ in range(1)
+        ]
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        schedule_one = [
+            first.check("connection.reset", stream="s") is not None
+            for _ in range(50)
+        ]
+        schedule_two = [
+            second.check("connection.reset", stream="s") is not None
+            for _ in range(50)
+        ]
+        assert schedule_one == schedule_two
+        assert any(schedule_one) and not all(schedule_one)
+        # A different seed draws a different schedule.
+        other = FaultInjector(
+            FaultPlan(
+                seed=8,
+                rules=(FaultRule(site="connection.reset", probability=0.3),),
+            )
+        )
+        schedule_other = [
+            other.check("connection.reset", stream="s") is not None
+            for _ in range(50)
+        ]
+        assert schedule_other != schedule_one
+
+    def test_limit_caps_total_fires(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site="apply", probability=1.0, limit=3),)
+        )
+        injector = FaultInjector(plan)
+        fires = sum(
+            injector.check("apply", stream="s") is not None for _ in range(10)
+        )
+        assert fires == 3
+        assert injector.report()["fired_by_site"] == {"apply": 3}
+        assert injector.report()["fired_by_rule"] == [3]
+
+    def test_actions_raise_the_right_exceptions(self):
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="checkpoint.write", kind="enospc", hits=(1,)),
+                    FaultRule(site="checkpoint.write", kind="oserror", hits=(2,)),
+                    FaultRule(site="apply", kind="exception", hits=(1,)),
+                )
+            )
+        )
+        action = injector.check("checkpoint.write", stream="s", stage="begin")
+        with pytest.raises(OSError) as excinfo:
+            action.raise_fault()
+        assert excinfo.value.errno == errno.ENOSPC
+        action = injector.check("checkpoint.write", stream="s", stage="begin")
+        with pytest.raises(OSError) as excinfo:
+            action.raise_fault()
+        assert excinfo.value.errno != errno.ENOSPC
+        action = injector.check("apply", stream="s")
+        with pytest.raises(InjectedFaultError):
+            action.raise_fault()
+
+    def test_stage_filter_only_counts_matching_stage(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="checkpoint.write", stage="manifest", hits=(1,)
+                ),
+            )
+        )
+        injector = FaultInjector(plan)
+        # A full write visits begin/arrays/manifest/commit; only the
+        # manifest stage matches (and fires on its first visit).
+        outcomes = {
+            stage: injector.check("checkpoint.write", stream="s", stage=stage)
+            for stage in ("begin", "arrays", "manifest", "commit")
+        }
+        assert outcomes["begin"] is None
+        assert outcomes["arrays"] is None
+        assert outcomes["manifest"] is not None
+        assert outcomes["commit"] is None
+
+    def test_checkpoint_write_hook_recovers_stream_id(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="checkpoint.write", streams=("victim",), hits=(1,)
+                ),
+            )
+        )
+        injector = FaultInjector(plan)
+        # State dirs are <root>/<stream>/state; metadata dirs <root>/<stream>.
+        with pytest.raises(OSError):
+            injector.checkpoint_write_hook(
+                Path("/tmp/root/victim/state"), "begin"
+            )
+        # Other streams sail through.
+        injector.checkpoint_write_hook(Path("/tmp/root/other/state"), "begin")
+        assert injector.report()["fired_by_site"] == {"checkpoint.write": 1}

@@ -359,3 +359,223 @@ class TestCheckpointing:
         assert response["ok"]
         assert response["path"] is not None
         assert (tmp_path / "state" / "s" / "meta.json").is_file()
+
+
+class TestIdempotentIngest:
+    def test_duplicate_seq_is_acked_not_reapplied(self):
+        warm = warm_records(seed=80)
+        chunk = live_chunks(1, seed=81)[0]
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm)
+            first = await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunk), seq=1,
+            )
+            assert first["ok"] and first["duplicate"] is False
+            assert first["seq"] == 1
+            await dispatch(server, "flush", stream="s")
+            # The retry after an ambiguous failure: same seq, same chunk.
+            again = await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunk), seq=1,
+            )
+            assert again["ok"] and again["duplicate"] is True
+            assert again["queued"] == 0
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            telemetry = await dispatch(server, "telemetry", stream="s")
+            assert telemetry["telemetry"]["duplicates_skipped"] == 1
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(scenario())
+        # Applied exactly once: bit-identical to the single-send reference.
+        reference = sequential_reference(warm, [chunk])
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_enqueued_but_unapplied_seq_also_deduplicates(self):
+        """The dedup window covers acked-but-not-yet-applied chunks, not
+        just the applied high-water mark."""
+        warm = warm_records(seed=82)
+        chunks = live_chunks(2, seed=83)
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm)
+            await dispatch(server, "flush", stream="s")
+            # Synchronous enqueues: the worker never runs between them.
+            server._op_ingest(
+                "s", {"op": "ingest", "records": wire_records(chunks[0]), "seq": 1}
+            )
+            server._op_ingest(
+                "s", {"op": "ingest", "records": wire_records(chunks[1]), "seq": 2}
+            )
+            duplicate = server._op_ingest(
+                "s", {"op": "ingest", "records": wire_records(chunks[1]), "seq": 2}
+            )
+            assert duplicate["duplicate"] is True and duplicate["queued"] == 0
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(scenario())
+        reference = sequential_reference(warm, chunks)
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_non_monotonic_seq_conflicts(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm_records(seed=84))
+            await dispatch(server, "flush", stream="s")
+            chunk = live_chunks(1, seed=85)[0]
+            # Gaps are allowed (a retried client may have skipped seqs)...
+            server._op_ingest(
+                "s", {"op": "ingest", "records": wire_records(chunk), "seq": 5}
+            )
+            # ...but a seq below the accepted high-water that is NOT a
+            # known duplicate would reorder the stream: refused.
+            with pytest.raises(ServiceError) as excinfo:
+                server._op_ingest(
+                    "s",
+                    {"op": "ingest", "records": wire_records(chunk), "seq": 3},
+                )
+            assert excinfo.value.code == "conflict"
+            await dispatch(server, "flush", stream="s")
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_seq_validation(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm_records(seed=86))
+            chunk = wire_records(live_chunks(1, seed=87)[0])
+            for bad in (0, -3, "nope"):
+                with pytest.raises(ServiceError) as excinfo:
+                    await dispatch(
+                        server, "ingest", stream="s", records=chunk, seq=bad
+                    )
+                assert excinfo.value.code == "bad_request"
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_failed_apply_frees_the_seq_for_retry(self):
+        """A seq whose chunk failed to apply must not poison the retry:
+        the client fixes the payload and re-sends the same seq."""
+        warm = warm_records(seed=88)
+        good = live_chunks(1, seed=89)[0]
+
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm)
+            stale = [[[0, 0], 1.0, 0.5]]  # behind the clock: apply fails
+            response = await dispatch(
+                server, "ingest", stream="s", records=stale, seq=1
+            )
+            assert response["ok"]  # acked before applied, by design
+            flush = await dispatch(server, "flush", stream="s")
+            assert len(flush["deferred_errors"]) == 1
+            retry = await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(good), seq=1,
+            )
+            assert retry["ok"] and retry["duplicate"] is False
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(scenario())
+        reference = sequential_reference(warm, [good])
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_seq_high_water_survives_checkpoint_and_recovery(self, tmp_path):
+        """The applied high-water mark is part of the checkpoint: after a
+        crash the mark rolls back WITH the state, so exactly the chunks
+        whose effects were lost are re-applied on retry."""
+        config = ServiceConfig(checkpoint_root=str(tmp_path / "state"))
+        warm = warm_records(seed=90)
+        chunks = live_chunks(2, seed=91)
+
+        async def phase_one():
+            server = StreamingServer(ServiceManager(config))
+            await create_and_start(server, "s", warm)
+            await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunks[0]), seq=1,
+            )
+            await dispatch(server, "flush", stream="s")
+            await dispatch(server, "checkpoint", stream="s")
+            # Applied but NOT checkpointed: lost by the simulated crash.
+            await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunks[1]), seq=2,
+            )
+            await dispatch(server, "flush", stream="s")
+            # Simulated SIGKILL: no graceful stop, no final checkpoint.
+            for worker in server._workers.values():
+                await worker.stop()
+            await server._writer.stop()
+
+        asyncio.run(phase_one())
+
+        async def phase_two():
+            manager = ServiceManager(config)
+            report = manager.recover()
+            assert report["recovered"] == ["s"]
+            server = StreamingServer(manager)
+            # seq 1 was checkpointed: a retry is a duplicate.
+            duplicate = await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunks[0]), seq=1,
+            )
+            assert duplicate["duplicate"] is True
+            # seq 2's effects were lost with the crash — the mark rolled
+            # back with the state, so the retry is APPLIED, not skipped.
+            retry = await dispatch(
+                server, "ingest", stream="s",
+                records=wire_records(chunks[1]), seq=2,
+            )
+            assert retry["duplicate"] is False
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            factors = await dispatch(server, "factors", stream="s")
+            await server.stop()
+            return factors
+
+        factors = asyncio.run(phase_two())
+        reference = sequential_reference(warm, chunks)
+        for fa, fb in zip(factors["factors"], reference.factors()["factors"]):
+            assert np.array_equal(np.array(fa), np.array(fb))
+
+    def test_advance_carries_seq_too(self):
+        async def scenario():
+            server = StreamingServer(ServiceManager(ServiceConfig()))
+            await create_and_start(server, "s", warm_records(seed=92))
+            await dispatch(server, "flush", stream="s")
+            stats = await dispatch(server, "stats", stream="s")
+            target = stats["clock"] + 5.0
+            first = await dispatch(
+                server, "advance", stream="s", time=target, seq=1
+            )
+            assert first["duplicate"] is False
+            again = await dispatch(
+                server, "advance", stream="s", time=target, seq=1
+            )
+            assert again["duplicate"] is True
+            flush = await dispatch(server, "flush", stream="s")
+            assert flush["deferred_errors"] == []
+            assert flush["clock"] == target
+            await server.stop()
+
+        asyncio.run(scenario())

@@ -7,83 +7,12 @@ stream resumes from its last checkpoint with bit-identical factors.
 
 from __future__ import annotations
 
-import os
-import signal
-import subprocess
-import sys
-import time
-
 import numpy as np
 import pytest
 
 from repro.exceptions import ServiceError
-from repro.service.client import ServiceClient
 
 from helpers import TINY_KWARGS, live_chunks, tiny_config, warm_records, wire_records
-
-SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
-
-
-class ServerProcess:
-    """A ``python -m repro.service`` subprocess bound to a free port."""
-
-    def __init__(self, *extra_args: str):
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            [SRC, env.get("PYTHONPATH", "")]
-        ).rstrip(os.pathsep)
-        self.process = subprocess.Popen(
-            [sys.executable, "-m", "repro.service", "--port", "0", *extra_args],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-            env=env,
-        )
-        self.port = self._await_port()
-
-    def _await_port(self) -> int:
-        deadline = time.monotonic() + 30.0
-        assert self.process.stdout is not None
-        while time.monotonic() < deadline:
-            line = self.process.stdout.readline()
-            if not line:
-                break
-            if line.startswith("listening on "):
-                return int(line.rsplit(":", 1)[1])
-        raise AssertionError(
-            f"server never announced its port (rc={self.process.poll()})"
-        )
-
-    def client(self, timeout: float = 60.0) -> ServiceClient:
-        return ServiceClient("127.0.0.1", self.port, timeout=timeout)
-
-    def kill(self) -> None:
-        self.process.send_signal(signal.SIGKILL)
-        self.process.wait(timeout=10.0)
-
-    def wait(self, timeout: float = 30.0) -> int:
-        return self.process.wait(timeout=timeout)
-
-    def cleanup(self) -> None:
-        if self.process.poll() is None:
-            self.process.kill()
-            self.process.wait(timeout=10.0)
-        if self.process.stdout is not None:
-            self.process.stdout.close()
-
-
-@pytest.fixture
-def launch():
-    processes: list[ServerProcess] = []
-
-    def _launch(*extra_args: str) -> ServerProcess:
-        process = ServerProcess(*extra_args)
-        processes.append(process)
-        return process
-
-    yield _launch
-    for process in processes:
-        process.cleanup()
 
 
 def feed_stream(client, stream_id, seed, n_chunks=2):
