@@ -25,9 +25,10 @@ import time
 import pytest
 
 from benchmarks._reporting import emit, emit_json
-from benchmarks.conftest import bench_scale, scaled_events
+from benchmarks.conftest import bench_scale, scaled_events, thread_settings
 
 from repro.als.als import decompose
+from repro.kernels.registry import resolve_backend
 from repro.core.base import SNSConfig
 from repro.core.registry import ALGORITHMS, create_algorithm
 from repro.data.generators import generate_dataset
@@ -245,6 +246,11 @@ def test_batched_vs_sequential_throughput(prepared_stream):
             f"{row['speedup_engine_vs_seed_per_event']:>8.2f}x"
             f"{row['speedup_engine_vs_live_legacy_sequential']:>9.2f}x"
         )
+    # What "auto" resolves to on this machine — the backend every model
+    # above actually ran on — plus the thread pinning in effect, so two
+    # JSON files are only ever compared like for like.
+    kernel_backend = resolve_backend().name
+    lines += ["", f"kernel backend: {kernel_backend}"]
     report = "\n".join(lines)
     emit("BENCH_update_micro", report)
     emit_json(
@@ -253,6 +259,8 @@ def test_batched_vs_sequential_throughput(prepared_stream):
             "benchmark": "bench_update_micro",
             "dataset": BENCH_DATASET,
             "scale": BENCH_SCALE,
+            "kernel_backend": kernel_backend,
+            "environment": thread_settings(),
             "engine_replay": engine,
             "variants": variants,
             "randomized": randomized,

@@ -26,6 +26,19 @@ police single-digit percentages across different hardware.
 Files absent from either side are reported and skipped — a benchmark that
 did not run must not turn the gate green or red by accident — unless
 ``--require`` names them, in which case absence fails the gate.
+
+``--min-ratio FILE:dotted.path:VALUE`` (repeatable) additionally enforces an
+*absolute* floor on a current-side metric, independent of the baseline and
+of ``--slack``.  This is how CI pins acceptance bars that are relative by
+construction (speedup ratios measured on the same box within one run), e.g.
+the compiled-kernel leg requiring a >= 10x engine-vs-seed speedup::
+
+    python benchmarks/regression_gate.py --current benchmarks/results \
+        --min-ratio \
+        BENCH_update_micro.json:randomized.sns_rnd.speedup_engine_vs_seed_per_event:10
+
+A ``--min-ratio`` target that is missing (file or metric) fails the gate:
+an explicitly demanded bar cannot be skipped.
 """
 
 from __future__ import annotations
@@ -108,6 +121,66 @@ def _load(path: Path) -> dict[str, Any] | None:
     if not isinstance(payload, dict):
         raise SystemExit(f"benchmark file {path} does not hold a JSON object")
     return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class MinRatio:
+    """An absolute current-side floor demanded on the command line."""
+
+    filename: str
+    path: str  # dotted path into the JSON payload
+    floor: float
+
+
+def parse_min_ratio(spec: str) -> MinRatio:
+    """Parse one ``FILE:dotted.path:VALUE`` occurrence of ``--min-ratio``."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) != 2 or ":" not in parts[0]:
+        raise ValueError(f"expected FILE:dotted.path:VALUE, got {spec!r}")
+    target, raw_floor = parts
+    filename, path = target.split(":", 1)
+    if not filename or not path:
+        raise ValueError(f"expected FILE:dotted.path:VALUE, got {spec!r}")
+    try:
+        floor = float(raw_floor)
+    except ValueError:
+        raise ValueError(f"non-numeric floor {raw_floor!r} in {spec!r}")
+    return MinRatio(filename=filename, path=path, floor=floor)
+
+
+def check_min_ratios(
+    current_dir: Path, min_ratios: list[MinRatio]
+) -> list[str]:
+    """Enforce the absolute floors; missing targets are failures."""
+    failures: list[str] = []
+    for demand in min_ratios:
+        current = _load(current_dir / demand.filename)
+        if current is None:
+            failures.append(
+                f"{demand.filename}: missing on the current side but a "
+                f"--min-ratio demands {demand.path} >= {demand.floor:g}"
+            )
+            continue
+        try:
+            value = float(_lookup(current, demand.path))
+        except KeyError:
+            failures.append(
+                f"{demand.filename}: no metric {demand.path!r} but a "
+                f"--min-ratio demands it >= {demand.floor:g}"
+            )
+            continue
+        ok = value >= demand.floor
+        verdict = "ok  " if ok else "FAIL"
+        print(
+            f"  [{verdict}] {demand.filename}:{demand.path} "
+            f"current={value:.6g} (absolute floor >= {demand.floor:g})"
+        )
+        if not ok:
+            failures.append(
+                f"{demand.filename}:{demand.path} below the absolute floor: "
+                f"{value:.6g} < {demand.floor:g}"
+            )
+    return failures
 
 
 def check(
@@ -199,14 +272,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="benchmark file that must exist on both sides (repeatable)",
     )
+    parser.add_argument(
+        "--min-ratio",
+        action="append",
+        default=[],
+        metavar="FILE:dotted.path:VALUE",
+        help=(
+            "absolute floor on a current-side metric, checked without "
+            "baseline or slack; a missing file/metric fails the gate "
+            "(repeatable)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.slack <= 0:
         parser.error("--slack must be positive")
+    try:
+        min_ratios = [parse_min_ratio(spec) for spec in args.min_ratio]
+    except ValueError as error:
+        parser.error(f"--min-ratio: {error}")
     print(
         f"regression gate: baseline={args.baseline} current={args.current} "
         f"slack={args.slack}"
     )
     failures = check(args.baseline, args.current, args.slack, set(args.require))
+    failures += check_min_ratios(args.current, min_ratios)
     if failures:
         print(f"\ngate FAILED ({len(failures)} regression(s)):", file=sys.stderr)
         for failure in failures:

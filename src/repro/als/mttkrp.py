@@ -4,6 +4,13 @@ The MTTKRP ``X_(m) (KR_{n != m} A(n))`` is the workhorse of ALS (Eq. 4) and of
 the SliceNStitch row updates (Eqs. 9 and 12).  For a sparse tensor it reduces
 to a sum over non-zeros of the entry value times the Hadamard product of the
 other modes' factor rows.
+
+The array math itself lives in :mod:`repro.kernels` — these functions build
+the COO / slice arrays and dispatch to a kernel backend.  Every function
+takes an optional ``kernels`` argument (a
+:class:`~repro.kernels.KernelBackend`); the model classes pass their
+configured backend, and the default is the numpy reference, which performs
+bit-for-bit the operations these functions historically inlined.
 """
 
 from __future__ import annotations
@@ -13,11 +20,16 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.kernels.api import KernelBackend
+from repro.kernels.registry import numpy_backend
 from repro.tensor.sparse import SparseTensor
 
 
 def mttkrp(
-    tensor: SparseTensor, factors: Sequence[np.ndarray], mode: int
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    kernels: KernelBackend | None = None,
 ) -> np.ndarray:
     """Return ``X_(mode) (KR_{n != mode} A(n))`` as an ``(N_mode, R)`` array."""
     if len(factors) != tensor.order:
@@ -27,7 +39,9 @@ def mttkrp(
     if not 0 <= mode < tensor.order:
         raise ShapeError(f"mode {mode} out of range for order {tensor.order}")
     indices, values = tensor.to_coo_arrays()
-    return mttkrp_coo(indices, values, factors, mode, tensor.shape[mode])
+    return mttkrp_coo(
+        indices, values, factors, mode, tensor.shape[mode], kernels=kernels
+    )
 
 
 def mttkrp_coo(
@@ -36,6 +50,7 @@ def mttkrp_coo(
     factors: Sequence[np.ndarray],
     mode: int,
     mode_size: int,
+    kernels: KernelBackend | None = None,
 ) -> np.ndarray:
     """MTTKRP over prebuilt COO arrays (``(nnz, M)`` indices, ``(nnz,)`` values).
 
@@ -45,17 +60,9 @@ def mttkrp_coo(
     ``update_batch``) build the arrays once and amortise the
     ``SparseTensor.to_coo_arrays`` conversion across modes.
     """
-    rank = factors[0].shape[1]
-    result = np.zeros((mode_size, rank), dtype=np.float64)
-    if values.size == 0:
-        return result
-    product = np.broadcast_to(values[:, None], (values.size, rank)).copy()
-    for other_mode, factor in enumerate(factors):
-        if other_mode == mode:
-            continue
-        product *= factor[indices[:, other_mode], :]
-    np.add.at(result, indices[:, mode], product)
-    return result
+    if kernels is None:
+        kernels = numpy_backend()
+    return kernels.mttkrp_coo(indices, values, factors, mode, mode_size)
 
 
 def mttkrp_row(
@@ -64,6 +71,7 @@ def mttkrp_row(
     mode: int,
     index: int,
     extra_entries: Sequence[tuple[tuple[int, ...], float]] = (),
+    kernels: KernelBackend | None = None,
 ) -> np.ndarray:
     """Single row ``X_(mode)(index, :) (KR_{n != mode} A(n))`` of the MTTKRP.
 
@@ -72,38 +80,34 @@ def mttkrp_row(
     ``extra_entries`` lets callers fold in the (at most two) entries of a
     delta ``ΔX`` that may not be stored in ``tensor`` yet; entries whose
     ``mode``-th coordinate differs from ``index`` are ignored.
+
+    Both paths use the slice arrays the tensor builds in one pass; the
+    delta entries are appended after the stored ones — the same entries in
+    the same order the historical iterator path visited, so results are
+    bit-identical.
     """
-    rank = factors[0].shape[1]
-    if not extra_entries:
-        # Hot path (the SNS row updates): the slice arrays are built by the
-        # tensor in one pass — same entries in the same order as the
-        # iterator path below, so results are bit-identical.
-        index_array, value_array = tensor.mode_slice_arrays(mode, index)
-        if value_array.size == 0:
-            return np.zeros(rank, dtype=np.float64)
-    else:
-        coordinates: list[tuple[int, ...]] = []
-        values: list[float] = []
-        for coordinate, value in tensor.mode_slice(mode, index):
-            coordinates.append(coordinate)
-            values.append(value)
-        for coordinate, value in extra_entries:
-            if coordinate[mode] != index:
-                continue
-            coordinates.append(tuple(coordinate))
-            values.append(value)
-        if not coordinates:
-            return np.zeros(rank, dtype=np.float64)
-        index_array = np.asarray(coordinates, dtype=np.int64)
-        value_array = np.asarray(values, dtype=np.float64)
-    product = np.broadcast_to(
-        value_array[:, None], (value_array.size, rank)
-    ).copy()
-    for other_mode, factor in enumerate(factors):
-        if other_mode == mode:
-            continue
-        product *= factor[index_array[:, other_mode], :]
-    return product.sum(axis=0)
+    if kernels is None:
+        kernels = numpy_backend()
+    index_array, value_array = tensor.mode_slice_arrays(mode, index)
+    if extra_entries:
+        kept = [
+            (coordinate, value)
+            for coordinate, value in extra_entries
+            if coordinate[mode] == index
+        ]
+        if kept:
+            extra_indices = np.array(
+                [coordinate for coordinate, _value in kept], dtype=np.int64
+            )
+            extra_values = np.array(
+                [value for _coordinate, value in kept], dtype=np.float64
+            )
+            if value_array.size:
+                index_array = np.concatenate((index_array, extra_indices), axis=0)
+                value_array = np.concatenate((value_array, extra_values))
+            else:
+                index_array, value_array = extra_indices, extra_values
+    return kernels.mttkrp_rows(index_array, value_array, factors, mode)
 
 
 def _other_rows_product(

@@ -104,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help=(
+            "kernel backend for the model hot path: 'numpy' is the "
+            "always-available reference, 'numba' JIT-compiles the kernels "
+            "(falls back to numpy with a warning when numba is not "
+            "importable), 'auto' (default) picks numba when available "
+            "and honours REPRO_KERNEL_BACKEND"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
@@ -160,6 +172,7 @@ def _settings(args: argparse.Namespace) -> ExperimentSettings:
         seed=args.seed,
         batched=args.batched,
         sampling=args.sampling,
+        backend=args.backend,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_events=args.checkpoint_events,
         resume=args.resume,
@@ -180,6 +193,13 @@ def run(argv: Sequence[str] | None = None) -> str:
         serve_main(argv[1:])
         return ""
     args = build_parser().parse_args(argv)
+    if args.backend != "auto":
+        # Pin the process-wide default too, so helper models constructed
+        # outside ExperimentSettings (warm-up ALS, ad-hoc scoring) resolve
+        # to the same backend as the streamed methods.
+        from repro.kernels.registry import set_default_backend
+
+        set_default_backend(args.backend)
     if args.experiment == "fig1":
         return format_granularity(run_granularity(_settings(args)))
     if args.experiment == "fig4":
@@ -192,6 +212,7 @@ def run(argv: Sequence[str] | None = None) -> str:
             "seed": args.seed,
             "batched": args.batched,
             "sampling": args.sampling,
+            "backend": args.backend,
             "checkpoint_dir": args.checkpoint_dir,
             "checkpoint_events": args.checkpoint_events,
             "resume": args.resume,

@@ -35,6 +35,8 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError, RankError, ShapeError
+from repro.kernels.api import flatten_row_overrides
+from repro.kernels.registry import resolve_backend
 from repro.stream.deltas import Delta, DeltaBatch
 from repro.stream.window import TensorWindow
 from repro.tensor.kruskal import KruskalTensor
@@ -78,6 +80,15 @@ class SNSConfig:
         original per-draw tuple sampler bit-for-bit (same draw stream, same
         goldens); both sample uniformly without replacement from the same
         eligible set.
+    backend:
+        Kernel backend for the hot-path array math (see
+        :mod:`repro.kernels`).  ``"auto"`` (the default) defers to the CLI
+        ``--backend`` knob / the ``REPRO_KERNEL_BACKEND`` environment
+        variable and otherwise auto-detects (numba when importable, else
+        the numpy reference).  An execution detail, not a model
+        hyper-parameter: checkpoints restore across backends, and the
+        ``"legacy"`` sampler always runs the numpy reference to keep its
+        bit-for-bit pin.
     """
 
     rank: int
@@ -87,6 +98,7 @@ class SNSConfig:
     nonnegative: bool = False
     seed: int | None = 0
     sampling: str = "vectorized"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rank <= 0:
@@ -102,6 +114,10 @@ class SNSConfig:
         if self.sampling not in ("vectorized", "legacy"):
             raise ConfigurationError(
                 f"sampling must be 'vectorized' or 'legacy', got {self.sampling!r}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"backend must be a backend name or 'auto', got {self.backend!r}"
             )
 
 
@@ -128,6 +144,9 @@ class ContinuousCPD(abc.ABC):
         # instead of allocating three temporaries per row update).
         self._gram_scratch_new = np.empty((config.rank, config.rank))
         self._gram_scratch_old = np.empty((config.rank, config.rank))
+        # Hot-path array kernels; unavailable explicit backends degrade to
+        # the numpy reference with one warning (see repro.kernels.registry).
+        self._kernels = resolve_backend(config.backend)
 
     # ------------------------------------------------------------------
     # Properties
@@ -164,6 +183,17 @@ class ContinuousCPD(abc.ABC):
     def n_updates(self) -> int:
         """Number of ``update`` calls processed so far."""
         return self._n_updates
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend actually executing the hot path.
+
+        May differ from ``config.backend``: ``"auto"`` resolves to a
+        concrete backend, an unavailable backend degrades to ``"numpy"``,
+        and the legacy sampler pins the randomised variants to the
+        reference.
+        """
+        return self._kernels.name
 
     @property
     def order(self) -> int:
@@ -249,6 +279,7 @@ class ContinuousCPD(abc.ABC):
         return {
             "name": self.name,
             "config": dataclasses.asdict(self._config),
+            "kernel_backend": self._kernels.name,
             "n_updates": int(self._n_updates),
             "rng_state": self._rng.bit_generator.state,
             "factors": [factor.copy() for factor in self._factors],
@@ -273,11 +304,21 @@ class ContinuousCPD(abc.ABC):
             )
         saved_config = state.get("config")
         current_config = dataclasses.asdict(self._config)
-        if saved_config is not None and dict(saved_config) != current_config:
+        # The kernel backend is an execution detail, not a model
+        # hyper-parameter: a checkpoint written on one backend restores on
+        # any other (and pre-backend checkpoints lack the key entirely).
+        current_config.pop("backend", None)
+        if saved_config is not None:
+            saved_config = {
+                key: value
+                for key, value in dict(saved_config).items()
+                if key != "backend"
+            }
+        if saved_config is not None and saved_config != current_config:
             mismatched = sorted(
                 key
                 for key in set(saved_config) | set(current_config)
-                if dict(saved_config).get(key) != current_config.get(key)
+                if saved_config.get(key) != current_config.get(key)
             )
             raise ConfigurationError(
                 f"checkpointed config does not match this instance "
@@ -454,23 +495,12 @@ class ContinuousCPD(abc.ABC):
         rows as they were at the start of the current event (``X̃`` built from
         ``A_prev``).
         """
-        index_array = np.asarray(coordinates, dtype=np.int64)
-        product = np.ones((index_array.shape[0], self.rank), dtype=np.float64)
-        overrides_by_mode: dict[int, list[tuple[int, np.ndarray]]] = {}
-        if row_overrides:
-            for (override_mode, index), row in row_overrides.items():
-                overrides_by_mode.setdefault(override_mode, []).append((index, row))
-        for mode, factor in enumerate(self._factors):
-            rows = factor[index_array[:, mode], :]
-            overrides_for_mode = overrides_by_mode.get(mode)
-            if overrides_for_mode:
-                rows = rows.copy()
-                for index, row in overrides_for_mode:
-                    mask = index_array[:, mode] == index
-                    if mask.any():
-                        rows[mask] = row
-            product *= rows
-        return product.sum(axis=1)
+        override_modes, override_indices, override_rows = flatten_row_overrides(
+            row_overrides, self.rank
+        )
+        return self._kernels.reconstruct_coords(
+            coordinates, self._factors, override_modes, override_indices, override_rows
+        )
 
     def _update_gram(self, mode: int, old_row: np.ndarray, new_row: np.ndarray) -> None:
         """Rank-one Gram maintenance: Eq. (13) (equivalently Eqs. 24-25).

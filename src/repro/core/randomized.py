@@ -31,14 +31,18 @@ import abc
 
 import numpy as np
 
-from repro.core.base import ContinuousCPD
+from repro.core.base import ContinuousCPD, SNSConfig
 from repro.core.sampling import SliceSampler, sample_slice_coordinates
 from repro.exceptions import ConfigurationError
+from repro.kernels.api import flatten_mode_overrides
+from repro.kernels.registry import numpy_backend
 from repro.stream.deltas import Delta, DeltaBatch
 
 try:  # SciPy is optional: direct LAPACK wrappers skip numpy.linalg's
     # per-call type/shape machinery (~3x cheaper for the R x R systems of
-    # the update rules).  Everything falls back to numpy when absent.
+    # the update rules).  The regularized solve itself lives in
+    # repro.kernels now; dtrtrs is still used by SNSRndPlus's triangular
+    # sweep, and dposv is kept importable for compatibility.
     from scipy.linalg.lapack import dposv as _lapack_posv
     from scipy.linalg.lapack import dtrtrs as _lapack_trtrs
 except ImportError:  # pragma: no cover - exercised only without scipy
@@ -53,6 +57,15 @@ Entries = tuple[tuple[Coordinate, float], ...]
 
 class RandomizedCPD(ContinuousCPD):
     """Base class of the θ-bounded randomised variants."""
+
+    def __init__(self, config: SNSConfig) -> None:
+        super().__init__(config)
+        if config.sampling == "legacy":
+            # The legacy sampler's contract is bit-for-bit reproduction of
+            # the original draw stream *and* float operations; only the
+            # numpy reference honours that, so it overrides any configured
+            # backend for every kernel this model touches.
+            self._kernels = numpy_backend()
 
     def _post_initialize(self) -> None:
         # U(m) = A_prev(m)' A(m); refreshed to the plain Grams at every event.
@@ -266,35 +279,16 @@ class RandomizedCPD(ContinuousCPD):
         """``rhs @ (matrix + ridge)^-1`` for symmetric PSD ``matrix`` via one solve.
 
         The vectorised path's replacement for materialising the inverse: a
-        Cholesky solve (LAPACK ``dposv``; the Hadamard product of Gram
-        matrices is PSD by the Schur product theorem, and the ridge makes it
-        definite) or ``np.linalg.solve`` without SciPy.  Non-definite /
-        singular systems fall back to the Moore-Penrose pseudo-inverse
-        exactly like :meth:`_pinv`.
+        Cholesky solve (the Hadamard product of Gram matrices is PSD by the
+        Schur product theorem, and the ridge makes it definite) through the
+        configured kernel backend; non-definite / singular systems fall back
+        to the Moore-Penrose pseudo-inverse exactly like :meth:`_pinv`.
+        ``rhs`` may also be a ``(B, R)`` batch of rows solved against one
+        shared matrix.
         """
-        if self._ridge is not None:
-            regularized = np.add(matrix, self._ridge, out=self._solve_scratch)
-        else:
-            regularized = matrix
-        if _lapack_posv is not None:
-            # The scratch buffer may be overwritten in place by the
-            # factorization; a shared (cached) matrix must not be.
-            _, solution, info = _lapack_posv(
-                regularized,
-                rhs,
-                lower=1,
-                overwrite_a=regularized is self._solve_scratch,
-            )
-            if info == 0:
-                return solution
-            if regularized is self._solve_scratch:
-                regularized = np.add(matrix, self._ridge, out=self._solve_scratch)
-        else:
-            try:
-                return np.linalg.solve(regularized, rhs)
-            except np.linalg.LinAlgError:
-                pass
-        return rhs @ np.linalg.pinv(regularized)
+        return self._kernels.solve_regularized(
+            matrix, rhs, self._ridge, self._solve_scratch
+        )
 
     # ------------------------------------------------------------------
     # θ-bounded sampling (Algorithm 4 line 12 / Algorithm 5 line 9)
@@ -381,54 +375,24 @@ class RandomizedCPD(ContinuousCPD):
         reconstruction) — sharing each mode's row gather.  Every sample has
         ``samples[:, mode] == index``, so the reconstruction's ``mode``
         factor collapses to the single row ``prev_rows[(mode, index)]``,
-        applied as a final matrix-vector product.
+        applied as a final matrix-vector product.  The fused pass itself is
+        the configured backend's ``sampled_residual`` kernel; the override
+        buckets are flattened in insertion order, which the numpy reference
+        replays exactly.
         """
         if not samples.shape[0]:
             return np.zeros(self.rank, dtype=np.float64)
         observed = self.window.tensor._get_batch_trusted(samples)
-        product_current: np.ndarray | None = None
-        product_previous: np.ndarray | None = None
-        relevant = overrides_by_mode and any(
-            other_mode != mode for other_mode in overrides_by_mode
+        override_modes, override_indices, override_rows = flatten_mode_overrides(
+            overrides_by_mode, mode, self.rank
         )
-        if not relevant:
-            # No other-mode row of this event has been updated yet (e.g. the
-            # event's time rows, which run first): the live factors still
-            # equal the start-of-event state, so one product chain serves
-            # both roles.
-            for other_mode, factor in enumerate(factors):
-                if other_mode == mode:
-                    continue
-                rows = factor[samples[:, other_mode], :]
-                product_current = (
-                    rows if product_current is None else product_current * rows
-                )
-            product_previous = product_current
-        else:
-            for other_mode, factor in enumerate(factors):
-                if other_mode == mode:
-                    continue
-                column = samples[:, other_mode]
-                rows = factor[column, :]
-                rows_previous = rows
-                overrides = overrides_by_mode.get(other_mode)
-                if overrides:
-                    copied = False
-                    for row_index, row in overrides:
-                        mask = column == row_index
-                        if mask.any():
-                            if not copied:
-                                rows_previous = rows.copy()
-                                copied = True
-                            rows_previous[mask] = row
-                product_current = (
-                    rows if product_current is None else product_current * rows
-                )
-                product_previous = (
-                    rows_previous
-                    if product_previous is None
-                    else product_previous * rows_previous
-                )
-        reconstructed = product_previous @ prev_rows[(mode, index)]
-        residuals = observed - reconstructed  # the x̄_J values
-        return residuals @ product_current
+        return self._kernels.sampled_residual(
+            samples,
+            observed,
+            factors,
+            mode,
+            prev_rows[(mode, index)],
+            override_modes,
+            override_indices,
+            override_rows,
+        )

@@ -79,7 +79,7 @@ class SNSMat(ContinuousCPD):
     def _update(self, delta: Delta) -> None:
         tensor = self.window.tensor  # already equals X + ΔX
         for mode in range(self.order):
-            numerator = mttkrp(tensor, self._factors, mode)
+            numerator = mttkrp(tensor, self._factors, mode, kernels=self._kernels)
             hadamard = self._hadamard_of_grams(mode)
             updated = numerator @ self._pinv(hadamard)  # Eq. (4)
             normalized, norms = normalize_columns(updated)
@@ -106,7 +106,12 @@ class SNSMat(ContinuousCPD):
             indices, values = tensor.to_coo_arrays()
             for mode in range(order):
                 numerator = mttkrp_coo(
-                    indices, values, self._factors, mode, tensor.shape[mode]
+                    indices,
+                    values,
+                    self._factors,
+                    mode,
+                    tensor.shape[mode],
+                    kernels=self._kernels,
                 )
                 hadamard = self._hadamard_of_grams(mode)
                 updated = numerator @ self._pinv(hadamard)  # Eq. (4)

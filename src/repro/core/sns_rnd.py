@@ -72,7 +72,9 @@ class SNSRnd(RandomizedCPD):
                 if time_shared is not None:
                     time_shared["hadamard"] = hadamard
             if degree <= self._config.theta:
-                rhs = mttkrp_row(tensor, self._factors, mode, index)  # Eq. (12)
+                rhs = mttkrp_row(
+                    tensor, self._factors, mode, index, kernels=self._kernels
+                )  # Eq. (12)
             else:
                 # Eq. (16): approximate the window by X̃ + X̄ with θ samples.
                 if time_shared is not None and "hadamard_prev" in time_shared:
@@ -113,7 +115,9 @@ class SNSRnd(RandomizedCPD):
             if time_shared is not None:
                 time_shared["pinv"] = pinv_hadamard
         if degree <= self._config.theta:
-            numerator = mttkrp_row(self.window.tensor, self._factors, mode, index)
+            numerator = mttkrp_row(
+                self.window.tensor, self._factors, mode, index, kernels=self._kernels
+            )
             return numerator @ pinv_hadamard  # Eq. (12)
         if time_shared is not None and "hadamard_prev" in time_shared:
             hadamard_prev = time_shared["hadamard_prev"]

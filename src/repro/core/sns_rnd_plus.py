@@ -80,7 +80,9 @@ class SNSRndPlus(RandomizedCPD):
                 time_shared["hadamard"] = hadamard
         if degree <= self._config.theta:
             # Eq. (21): exact data term over the row's non-zeros.
-            numerator = mttkrp_row(tensor, self._factors, mode, index)
+            numerator = mttkrp_row(
+                tensor, self._factors, mode, index, kernels=self._kernels
+            )
         else:
             # Eq. (23): e-term via the previous Grams plus sampled residuals
             # and the explicit ΔX contribution.

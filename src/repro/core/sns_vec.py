@@ -91,7 +91,9 @@ class SNSVec(ContinuousCPD):
     def _update_categorical_row(self, mode: int, index: int) -> None:
         """Exact least-squares update of one categorical-mode row (Eq. 12)."""
         old_row = self._factors[mode][index, :].copy()
-        numerator = mttkrp_row(self.window.tensor, self._factors, mode, index)
+        numerator = mttkrp_row(
+            self.window.tensor, self._factors, mode, index, kernels=self._kernels
+        )
         hadamard = self._hadamard_of_grams(mode)
         new_row = numerator @ self._pinv(hadamard)
         self._factors[mode][index, :] = new_row

@@ -70,7 +70,9 @@ class SNSVecPlus(ContinuousCPD):
             numerator = old_row @ hadamard + self._delta_contribution(mode, index, delta)
         else:
             # Eq. (21): exact data term over Omega(m)_{i_m} of X + ΔX.
-            numerator = mttkrp_row(self.window.tensor, self._factors, mode, index)
+            numerator = mttkrp_row(
+                self.window.tensor, self._factors, mode, index, kernels=self._kernels
+            )
         new_row = self._coordinate_descent(mode, index, numerator, hadamard)
         self._factors[mode][index, :] = new_row
         self._update_gram(mode, old_row, new_row)  # Eqs. (24)-(25)

@@ -204,6 +204,7 @@ def _run_continuous(
         eta=spec.eta,
         seed=settings.seed,
         sampling=settings.sampling,
+        backend=settings.backend,
     )
     checkpoint_path: Path | None = None
     if settings.checkpoint_dir is not None:

@@ -68,6 +68,13 @@ class ExperimentSettings:
         per-draw sampler with a pinned draw stream); forwarded to
         :class:`repro.core.base.SNSConfig`, ignored by the deterministic
         variants and the baselines.
+    backend:
+        Kernel backend for the model hot path (see :mod:`repro.kernels`),
+        forwarded to :class:`repro.core.base.SNSConfig`.  ``"auto"`` (the
+        default) honours the CLI ``--backend`` knob / the
+        ``REPRO_KERNEL_BACKEND`` environment variable and otherwise
+        auto-detects; an execution detail that never changes which results
+        are correct, only how fast the numpy-reference-agreeing kernels run.
     checkpoint_dir:
         Directory for *real* on-disk checkpoints
         (:mod:`repro.stream.checkpoint`); each continuous method saves its
@@ -100,6 +107,7 @@ class ExperimentSettings:
     seed: int = 0
     batched: bool = False
     sampling: str = "vectorized"
+    backend: str = "auto"
     checkpoint_dir: str | None = None
     checkpoint_events: int | None = None
     resume: bool = False
@@ -127,6 +135,10 @@ class ExperimentSettings:
         if self.sampling not in ("vectorized", "legacy"):
             raise ConfigurationError(
                 f"sampling must be 'vectorized' or 'legacy', got {self.sampling!r}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"backend must be a backend name or 'auto', got {self.backend!r}"
             )
         if self.checkpoint_events is not None and self.checkpoint_events <= 0:
             raise ConfigurationError(

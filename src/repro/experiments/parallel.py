@@ -122,6 +122,7 @@ def method_task(
     seed: int | None = 0,
     batched: bool = False,
     sampling: str = "vectorized",
+    backend: str = "auto",
     checkpoint_events: int | None = None,
     checkpoint_subdir: str | None = None,
 ) -> ExperimentTask:
@@ -139,6 +140,7 @@ def method_task(
             "seed": seed,
             "batched": bool(batched),
             "sampling": sampling,
+            "backend": backend,
             "checkpoint_events": checkpoint_events,
         },
         checkpoint_subdir=checkpoint_subdir,
@@ -179,6 +181,7 @@ def execute_task(
             seed=params.get("seed", 0),
             batched=params.get("batched", False),
             sampling=params.get("sampling", "vectorized"),
+            backend=params.get("backend", "auto"),
             checkpoint_dir=checkpoint_dir,
             checkpoint_events=(
                 params.get("checkpoint_events") if checkpoint_dir is not None else None

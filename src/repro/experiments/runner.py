@@ -141,6 +141,7 @@ def run_method(
     baseline_config: BaselineConfig | None = None,
     batched: bool = False,
     sampling: str = "vectorized",
+    backend: str = "auto",
     checkpoint_dir: str | Path | None = None,
     checkpoint_events: int | None = None,
     resume: bool = False,
@@ -230,13 +231,25 @@ def run_method(
         # silently continuing under different requested ones would label the
         # run with settings it never used.
         requested = SNSConfig(
-            rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling
+            rank=rank,
+            theta=theta,
+            eta=eta,
+            seed=seed,
+            sampling=sampling,
+            backend=backend,
         )
-        if dataclasses.asdict(requested) != dataclasses.asdict(model.config):
+        # The kernel backend is an execution detail: resuming a run on a
+        # different backend is explicitly supported, so it is excluded from
+        # the hyper-parameter comparison.
+        requested_dict = dataclasses.asdict(requested)
+        saved_dict = dataclasses.asdict(model.config)
+        requested_dict.pop("backend", None)
+        saved_dict.pop("backend", None)
+        if requested_dict != saved_dict:
             mismatched = sorted(
                 key
-                for key, value in dataclasses.asdict(requested).items()
-                if value != dataclasses.asdict(model.config)[key]
+                for key, value in requested_dict.items()
+                if value != saved_dict[key]
             )
             raise ConfigurationError(
                 f"checkpoint at {checkpoint_path} was taken with different "
@@ -263,7 +276,12 @@ def run_method(
             model = create_algorithm(
                 method,
                 SNSConfig(
-                    rank=rank, theta=theta, eta=eta, seed=seed, sampling=sampling
+                    rank=rank,
+                    theta=theta,
+                    eta=eta,
+                    seed=seed,
+                    sampling=sampling,
+                    backend=backend,
                 ),
             )
         else:
@@ -474,6 +492,7 @@ def run_experiment(
             seed=settings.seed,
             batched=settings.batched,
             sampling=settings.sampling,
+            backend=settings.backend,
             checkpoint_events=settings.checkpoint_events,
             # Keep run checkpoints at <checkpoint_dir>/<method>, the
             # sequential layout, so runs interoperate across n_workers.

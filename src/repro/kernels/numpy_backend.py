@@ -1,0 +1,232 @@
+"""The always-available numpy reference implementation of the kernel API.
+
+Every function here is the historical inline implementation moved
+verbatim — the same numpy calls in the same order on the same
+intermediates — from :mod:`repro.als.mttkrp` (``mttkrp_coo`` and the
+``mttkrp_row`` hot path), :meth:`repro.core.base.ContinuousCPD._reconstruction_batch`,
+and :meth:`repro.core.randomized.RandomizedCPD`'s ``_solve_regularized`` /
+``_vectorized_sampled_residual``.  That is a hard contract, not a style
+choice: the golden-fitness, batched-equivalence, and checkpoint suites
+pin bit-exact outputs, and they stay pinned precisely because selecting
+the numpy backend performs the identical float operations the code
+performed before the registry existed.  Change an operation here only
+together with the goldens.
+
+The only structural difference from the historical call sites is how row
+overrides arrive: as the flat ``(modes, indices, rows)`` triple of
+:func:`repro.kernels.api.flatten_mode_overrides` instead of per-mode dict
+buckets.  The kernels scan the triple per mode in flat order, which —
+because the flattener preserves dict insertion order — replays the exact
+override sequence the bucketed loops applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.kernels.api import KernelBackend
+
+try:  # Same optional-scipy guard as repro.core.randomized: dposv skips
+    # numpy.linalg's per-call machinery for the small R x R systems.
+    from scipy.linalg.lapack import dposv as _lapack_posv
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _lapack_posv = None
+
+
+def mttkrp_coo(
+    indices: np.ndarray,
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    mode_size: int,
+) -> np.ndarray:
+    """MTTKRP over COO arrays — the body of :func:`repro.als.mttkrp.mttkrp_coo`."""
+    rank = factors[0].shape[1]
+    result = np.zeros((mode_size, rank), dtype=np.float64)
+    if values.size == 0:
+        return result
+    product = np.broadcast_to(values[:, None], (values.size, rank)).copy()
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[indices[:, other_mode], :]
+    np.add.at(result, indices[:, mode], product)
+    return result
+
+
+def mttkrp_rows(
+    indices: np.ndarray,
+    values: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+) -> np.ndarray:
+    """Row MTTKRP over one slice's arrays — the ``mttkrp_row`` hot path.
+
+    ``indices`` / ``values`` are :meth:`SparseTensor.mode_slice_arrays`
+    output (every entry's ``mode``-th coordinate is the slice index), so
+    the scatter of :func:`mttkrp_coo` collapses to one row sum.
+    """
+    rank = factors[0].shape[1]
+    if values.size == 0:
+        return np.zeros(rank, dtype=np.float64)
+    product = np.broadcast_to(values[:, None], (values.size, rank)).copy()
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[indices[:, other_mode], :]
+    return product.sum(axis=0)
+
+
+def sampled_residual(
+    samples: np.ndarray,
+    observed: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    prev_row: np.ndarray,
+    override_modes: np.ndarray,
+    override_indices: np.ndarray,
+    override_rows: np.ndarray,
+) -> np.ndarray:
+    """Fused residual ``(x - x̃) @ (Hadamard of other current rows)``.
+
+    The body of ``RandomizedCPD._vectorized_sampled_residual`` with the
+    override buckets flattened: overrides never carry ``mode`` itself (the
+    flattener skips it), so a non-empty triple is exactly the historical
+    ``relevant`` condition.
+    """
+    rank = factors[0].shape[1]
+    if not samples.shape[0]:
+        return np.zeros(rank, dtype=np.float64)
+    product_current: np.ndarray | None = None
+    product_previous: np.ndarray | None = None
+    if override_modes.size == 0:
+        # No other-mode row of this event has been updated yet (e.g. the
+        # event's time rows, which run first): the live factors still
+        # equal the start-of-event state, so one product chain serves
+        # both roles.
+        for other_mode, factor in enumerate(factors):
+            if other_mode == mode:
+                continue
+            rows = factor[samples[:, other_mode], :]
+            product_current = (
+                rows if product_current is None else product_current * rows
+            )
+        product_previous = product_current
+    else:
+        for other_mode, factor in enumerate(factors):
+            if other_mode == mode:
+                continue
+            column = samples[:, other_mode]
+            rows = factor[column, :]
+            rows_previous = rows
+            copied = False
+            for position in range(override_modes.shape[0]):
+                if override_modes[position] != other_mode:
+                    continue
+                mask = column == override_indices[position]
+                if mask.any():
+                    if not copied:
+                        rows_previous = rows.copy()
+                        copied = True
+                    rows_previous[mask] = override_rows[position]
+            product_current = (
+                rows if product_current is None else product_current * rows
+            )
+            product_previous = (
+                rows_previous
+                if product_previous is None
+                else product_previous * rows_previous
+            )
+    reconstructed = product_previous @ prev_row
+    residuals = observed - reconstructed  # the x̄_J values
+    return residuals @ product_current
+
+
+def reconstruct_coords(
+    coordinates: np.ndarray | Sequence[Sequence[int]],
+    factors: Sequence[np.ndarray],
+    override_modes: np.ndarray,
+    override_indices: np.ndarray,
+    override_rows: np.ndarray,
+) -> np.ndarray:
+    """Batched reconstruction gather — the ``_reconstruction_batch`` body.
+
+    Unlike :func:`sampled_residual`'s lazy copy, a mode with *any*
+    overrides copies its gathered rows unconditionally (even when no mask
+    matches) — exactly what the historical code did.
+    """
+    index_array = np.asarray(coordinates, dtype=np.int64)
+    rank = factors[0].shape[1]
+    product = np.ones((index_array.shape[0], rank), dtype=np.float64)
+    has_overrides = override_modes.size > 0
+    for mode, factor in enumerate(factors):
+        rows = factor[index_array[:, mode], :]
+        if has_overrides and np.any(override_modes == mode):
+            rows = rows.copy()
+            column = index_array[:, mode]
+            for position in range(override_modes.shape[0]):
+                if override_modes[position] != mode:
+                    continue
+                mask = column == override_indices[position]
+                if mask.any():
+                    rows[mask] = override_rows[position]
+        product *= rows
+    return product.sum(axis=1)
+
+
+def solve_regularized(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    ridge_matrix: np.ndarray | None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """``rhs @ (matrix + ridge)^-1`` — the ``_solve_regularized`` body.
+
+    ``rhs`` may be one row ``(R,)`` (the historical call shape, solved with
+    the exact historical operations) or a batch ``(B, R)`` solved against
+    the one shared factorization.  Non-definite systems fall back to the
+    Moore-Penrose pseudo-inverse, exactly like ``ContinuousCPD._pinv``.
+    """
+    if ridge_matrix is not None:
+        if scratch is None:
+            scratch = np.empty_like(matrix)
+        regularized = np.add(matrix, ridge_matrix, out=scratch)
+    else:
+        regularized = matrix
+    batched = rhs.ndim == 2
+    if _lapack_posv is not None:
+        # The scratch buffer may be overwritten in place by the
+        # factorization; a shared (cached) matrix must not be.
+        _, solution, info = _lapack_posv(
+            regularized,
+            rhs.T if batched else rhs,
+            lower=1,
+            overwrite_a=regularized is scratch,
+        )
+        if info == 0:
+            return solution.T if batched else solution
+        if regularized is scratch:
+            regularized = np.add(matrix, ridge_matrix, out=scratch)
+    else:
+        try:
+            if batched:
+                return np.linalg.solve(regularized, rhs.T).T
+            return np.linalg.solve(regularized, rhs)
+        except np.linalg.LinAlgError:
+            pass
+    return rhs @ np.linalg.pinv(regularized)
+
+
+def load() -> KernelBackend:
+    """Build the numpy reference backend (always available)."""
+    return KernelBackend(
+        name="numpy",
+        mttkrp_coo=mttkrp_coo,
+        mttkrp_rows=mttkrp_rows,
+        sampled_residual=sampled_residual,
+        reconstruct_coords=reconstruct_coords,
+        solve_regularized=solve_regularized,
+        description="pure-numpy reference (always available, bit-pinned)",
+    )

@@ -40,6 +40,12 @@ class StreamConfig:
         Registered SliceNStitch variant maintaining the factors.
     theta, eta, regularization, nonnegative, sampling, seed:
         Hyper-parameters forwarded to :class:`~repro.core.base.SNSConfig`.
+    backend:
+        Kernel backend for the model hot path (see :mod:`repro.kernels`),
+        forwarded to :class:`~repro.core.base.SNSConfig`.  ``"auto"``
+        honours ``repro serve --backend`` / ``REPRO_KERNEL_BACKEND`` and
+        otherwise auto-detects; an execution detail (checkpoints restore
+        across backends), recorded per stream in telemetry.
     als_iterations:
         ALS sweeps used to initialise the factors when the stream starts.
     detector_warmup:
@@ -58,6 +64,7 @@ class StreamConfig:
     regularization: float = 1e-12
     nonnegative: bool = False
     sampling: str = "vectorized"
+    backend: str = "auto"
     seed: int = 0
     als_iterations: int = 10
     detector_warmup: int = 30
@@ -83,6 +90,10 @@ class StreamConfig:
             raise ConfigurationError(
                 f"unknown method {self.method!r}; choose one of "
                 f"{sorted(ALGORITHMS)}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigurationError(
+                f"backend must be a backend name or 'auto', got {self.backend!r}"
             )
         if self.als_iterations <= 0:
             raise ConfigurationError(

@@ -129,6 +129,7 @@ class StreamSession:
             nonnegative=self.config.nonnegative,
             seed=self.config.seed,
             sampling=self.config.sampling,
+            backend=self.config.backend,
         )
 
     # ------------------------------------------------------------------
@@ -399,6 +400,7 @@ class StreamSession:
                     "pending_records": processor.n_pending_records,
                     "events_applied": processor.n_events_emitted,
                     "n_updates": self._model.n_updates,
+                    "kernel_backend": self._model.kernel_backend,
                 }
             )
         self.telemetry.record_query(time.perf_counter() - started)
@@ -406,7 +408,11 @@ class StreamSession:
 
     def telemetry_snapshot(self) -> dict[str, Any]:
         """Lifetime telemetry counters of this stream."""
-        return self.telemetry.to_dict()
+        payload = self.telemetry.to_dict()
+        payload["kernel_backend"] = (
+            self._model.kernel_backend if self.is_live else None
+        )
+        return payload
 
     # ------------------------------------------------------------------
     # Durability

@@ -366,6 +366,10 @@ def _pack_model_state(
     return {
         "name": state["name"],
         "config": state["config"],
+        # The backend that actually executed the run (diagnostic only —
+        # restore rebuilds the model from its config and may resolve to a
+        # different backend on this machine).
+        "kernel_backend": state.get("kernel_backend"),
         "n_updates": state["n_updates"],
         "rng_state": state["rng_state"],
         "n_factors": len(state["factors"]),

@@ -88,3 +88,86 @@ class TestMttkrpRow:
         for index in range(4):
             row = mttkrp_row(tensor, factors, 0, index) @ np.linalg.pinv(hadamard)
             np.testing.assert_allclose(row, factors[0][index, :], atol=1e-8)
+
+
+def _legacy_mttkrp_row(tensor, factors, mode, index, extra_entries=()):
+    """The pre-kernel list-based ``mttkrp_row`` slow path, verbatim.
+
+    Kept as the bit-exactness oracle for the array-based ``extra_entries``
+    path that replaced it: the entries are visited in the same order
+    (stored slice entries, then kept extras), so the float operations and
+    hence the bits must match exactly.
+    """
+    rank = factors[0].shape[1]
+    coordinates = []
+    values = []
+    for coordinate, value in tensor.mode_slice(mode, index):
+        coordinates.append(coordinate)
+        values.append(value)
+    for coordinate, value in extra_entries:
+        if coordinate[mode] != index:
+            continue
+        coordinates.append(tuple(coordinate))
+        values.append(value)
+    if not coordinates:
+        return np.zeros(rank, dtype=np.float64)
+    index_array = np.asarray(coordinates, dtype=np.int64)
+    value_array = np.asarray(values, dtype=np.float64)
+    product = np.broadcast_to(
+        value_array[:, None], (value_array.size, rank)
+    ).copy()
+    for other_mode, factor in enumerate(factors):
+        if other_mode == mode:
+            continue
+        product *= factor[index_array[:, other_mode], :]
+    return product.sum(axis=0)
+
+
+class TestExtraEntriesBitExact:
+    """The array-ops ``extra_entries`` path is bit-identical to the legacy one."""
+
+    def _random_case(self, rng, n_stored):
+        shape = (5, 4, 3)
+        tensor = SparseTensor(shape)
+        for _ in range(n_stored):
+            coordinate = tuple(int(rng.integers(0, n)) for n in shape)
+            tensor.add(coordinate, float(rng.standard_normal()))
+        factors = random_factors(shape, rank=3, rng=rng, nonnegative=False)
+        return tensor, factors
+
+    def test_stored_plus_extras(self, rng):
+        tensor, factors = self._random_case(rng, n_stored=25)
+        extra = [
+            ((0, 1, 2), 1.5),
+            ((0, 3, 0), -2.25),
+            ((2, 0, 0), 7.0),  # different row: must be ignored for index 0
+        ]
+        for mode in range(tensor.order):
+            for index in range(tensor.shape[mode]):
+                np.testing.assert_array_equal(
+                    mttkrp_row(tensor, factors, mode, index, extra_entries=extra),
+                    _legacy_mttkrp_row(tensor, factors, mode, index, extra),
+                )
+
+    def test_extras_only_empty_slice(self, rng):
+        tensor, factors = self._random_case(rng, n_stored=0)
+        extra = [((1, 2, 0), 3.5), ((1, 0, 1), -0.5)]
+        np.testing.assert_array_equal(
+            mttkrp_row(tensor, factors, 0, 1, extra_entries=extra),
+            _legacy_mttkrp_row(tensor, factors, 0, 1, extra),
+        )
+
+    def test_all_extras_filtered_out(self, rng):
+        tensor, factors = self._random_case(rng, n_stored=10)
+        extra = [((4, 0, 0), 2.0)]  # never matches index 1 of mode 0
+        np.testing.assert_array_equal(
+            mttkrp_row(tensor, factors, 0, 1, extra_entries=extra),
+            _legacy_mttkrp_row(tensor, factors, 0, 1, extra),
+        )
+
+    def test_no_entries_anywhere_gives_zeros(self, rng):
+        tensor, factors = self._random_case(rng, n_stored=0)
+        np.testing.assert_array_equal(
+            mttkrp_row(tensor, factors, 1, 2, extra_entries=[((0, 3, 0), 1.0)]),
+            np.zeros(3),
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for :mod:`repro.kernels.registry`.
+
+The registry's failure semantics are the contract the whole backend knob
+rests on: unknown names raise (typos must not silently run the slow
+path), known-but-unavailable backends degrade to numpy with exactly one
+warning per backend per process, and auto-detection never warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.exceptions import ConfigurationError, KernelUnavailableError
+from repro.kernels import numba_backend
+from repro.kernels import registry
+from repro.kernels.api import KernelBackend, validate_backend
+from repro.kernels.registry import (
+    KernelFallbackWarning,
+    available_backends,
+    default_backend_name,
+    known_backends,
+    load_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+
+NUMBA_IMPORTABLE = numba_backend._njit is not None
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Isolate each test: fresh cache/default/warn state, no env leakage."""
+    monkeypatch.delenv(registry.ENV_VAR, raising=False)
+    monkeypatch.delenv("NUMBA_DISABLE_JIT", raising=False)
+    saved_factories = dict(registry._factories)
+    registry._reset()
+    yield
+    registry._factories.clear()
+    registry._factories.update(saved_factories)
+    registry._reset()
+
+
+class TestRegistration:
+    def test_builtin_backends_are_registered(self):
+        assert "numpy" in known_backends()
+        assert "numba" in known_backends()
+
+    def test_numpy_is_always_available(self):
+        assert "numpy" in available_backends()
+        backend = load_backend("numpy")
+        assert backend.name == "numpy"
+        validate_backend(backend)
+
+    def test_auto_name_is_reserved(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("auto", lambda: None)
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        factory = registry._factories["numpy"]
+        with pytest.raises(ConfigurationError):
+            register_backend("numpy", factory)
+        register_backend("numpy", factory, replace=True)
+        assert load_backend("numpy").name == "numpy"
+
+    def test_loaded_instances_are_cached(self):
+        assert load_backend("numpy") is load_backend("numpy")
+
+    def test_validate_backend_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            validate_backend(object())
+
+
+class TestUnknownNames:
+    def test_load_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            load_backend("no-such-backend")
+
+    def test_resolve_backend_raises_too(self):
+        # A typo is a configuration error, never a silent fallback.
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            resolve_backend("no-such-backend")
+
+    def test_set_default_backend_raises_immediately(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            set_default_backend("no-such-backend")
+
+
+class TestFallback:
+    def _register_unavailable(self, name="always-missing"):
+        def factory() -> KernelBackend:
+            raise KernelUnavailableError(f"{name} cannot load in tests")
+
+        register_backend(name, factory)
+        return name
+
+    def test_unavailable_backend_warns_once_and_degrades(self):
+        name = self._register_unavailable()
+        with pytest.warns(KernelFallbackWarning, match=name):
+            backend = resolve_backend(name)
+        assert backend.name == "numpy"
+        # Second resolution: same degradation, no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend(name).name == "numpy"
+
+    def test_strict_loader_never_falls_back(self):
+        name = self._register_unavailable()
+        with pytest.raises(KernelUnavailableError):
+            load_backend(name)
+
+    @pytest.mark.skipif(
+        NUMBA_IMPORTABLE, reason="numba importable: no fallback on this box"
+    )
+    def test_numba_absent_degrades_with_one_warning(self):
+        with pytest.warns(KernelFallbackWarning, match="numba"):
+            assert resolve_backend("numba").name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba").name == "numpy"
+
+    @pytest.mark.skipif(
+        not NUMBA_IMPORTABLE, reason="needs an importable numba"
+    )
+    def test_disable_jit_counts_as_unavailable(self, monkeypatch):
+        monkeypatch.setenv("NUMBA_DISABLE_JIT", "1")
+        with pytest.raises(KernelUnavailableError, match="NUMBA_DISABLE_JIT"):
+            numba_backend.load()
+        with pytest.warns(KernelFallbackWarning, match="numba"):
+            assert resolve_backend("numba").name == "numpy"
+
+
+class TestJitDisabledParsing:
+    @pytest.mark.parametrize("value,disabled", [
+        ("", False),
+        ("0", False),
+        (" 0 ", False),
+        ("1", True),
+        ("yes", True),
+    ])
+    def test_values(self, monkeypatch, value, disabled):
+        monkeypatch.setenv("NUMBA_DISABLE_JIT", value)
+        assert numba_backend.jit_disabled() is disabled
+
+    def test_unset_means_enabled(self, monkeypatch):
+        monkeypatch.delenv("NUMBA_DISABLE_JIT", raising=False)
+        assert numba_backend.jit_disabled() is False
+
+
+class TestSelectionPrecedence:
+    def test_auto_is_the_default(self):
+        assert default_backend_name() == registry.AUTO
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "numpy")
+        assert default_backend_name() == "numpy"
+        assert resolve_backend(None).name == "numpy"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "no-such-backend")
+        set_default_backend("numpy")
+        assert default_backend_name() == "numpy"
+        assert resolve_backend("auto").name == "numpy"
+
+    def test_explicit_name_beats_process_default(self):
+        set_default_backend("numba")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_clearing_the_default(self):
+        set_default_backend("numpy")
+        set_default_backend(None)
+        assert default_backend_name() == registry.AUTO
+        set_default_backend("numpy")
+        set_default_backend("auto")
+        assert default_backend_name() == registry.AUTO
+
+    def test_auto_detection_never_warns(self):
+        # Whether numba is importable or not, "auto" resolves silently.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = resolve_backend(None)
+        assert backend.name in ("numpy", "numba")
+
+    def test_auto_prefers_numba_when_available(self):
+        expected = "numba" if "numba" in available_backends() else "numpy"
+        assert resolve_backend("auto").name == expected
