@@ -1,0 +1,27 @@
+"""Static analysis: AST-based invariant checkers for the codebase.
+
+The package is both a library (the checker framework plus the project's
+five invariant checkers) and a tool (``repro lint`` /
+``python -m repro.analysis``).  See the README's "Static analysis"
+section for the rule catalog and the suppression workflow.
+"""
+
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.framework import (
+    Checker,
+    LintResult,
+    all_rules,
+    run_checkers,
+)
+from repro.analysis.source import Project, SourceFile
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "run_checkers",
+]

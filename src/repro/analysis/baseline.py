@@ -1,0 +1,106 @@
+"""Committed-baseline support: accept known findings, fail on new ones.
+
+A baseline is a JSON file of finding keys.  ``repro lint --baseline FILE``
+subtracts the recorded findings from the run; only *new* findings fail the
+lint.  ``--update-baseline`` rewrites the file from the current run.
+
+Keys are ``(rule, module, message)`` — the dotted module name instead of a
+filesystem path (stable across invocation directories) and no line number
+(stable across unrelated edits above the finding).
+
+The shipped baseline is empty by design: every finding on the tree is
+either fixed or carries an inline ``# repro: allow[...]`` justification.
+The baseline mechanism exists for adopting new rules incrementally without
+blocking the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.exceptions import ConfigurationError
+
+_FORMAT = "repro-lint-baseline"
+_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return (finding.rule, finding.module, finding.message)
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"cannot read lint baseline {path}: {error}"
+        ) from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _FORMAT
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ConfigurationError(
+            f"{path} is not a {_FORMAT} file (expected a JSON object with "
+            f'"format": "{_FORMAT}" and a "findings" list)'
+        )
+    keys: set[BaselineKey] = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"{path}: baseline entries must be objects, got {entry!r}"
+            )
+        try:
+            keys.add(
+                (
+                    str(entry["rule"]),
+                    str(entry["module"]),
+                    str(entry["message"]),
+                )
+            )
+        except KeyError as error:
+            raise ConfigurationError(
+                f"{path}: baseline entry is missing the {error} field"
+            ) from error
+    return keys
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the new baseline (sorted, deduplicated)."""
+    entries = sorted(
+        {finding_key(finding) for finding in findings}
+    )
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "module": module, "message": message}
+            for rule, module, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: set[BaselineKey]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into ``(new, baselined)`` against the recorded keys."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        if finding_key(finding) in baseline:
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -1,0 +1,218 @@
+"""Async-safety checker: no blocking work on the event-loop hot path.
+
+The streaming service promises that queries answer *during* ingestion and
+that ``health`` answers during stalls.  That holds only while nothing
+blocks the event loop: every sleep must be ``asyncio.sleep``, every
+filesystem/subprocess touch and every numpy-heavy session/manager method
+must run through ``asyncio.to_thread`` (or an executor).  Passing a bound
+method *to* ``asyncio.to_thread`` is fine — the rules fire on direct
+*calls* in async code.
+
+``blocking-call``
+    Inside an ``async def`` in :mod:`repro.service`: a direct call to a
+    known-blocking callable — ``time.sleep``, ``open``, ``subprocess.*``,
+    ``os.system``, ``shutil`` tree operations — or to a known numpy-heavy
+    session/manager method (``ingest``, ``factors``, ``checkpoint_*``,
+    ``recover``, ...).  Awaited calls are exempt (an ``await x.start()``
+    is an async method, not the blocking session one).
+
+``sleep-under-lock``
+    ``await asyncio.sleep(...)`` while lexically holding a stream lock
+    (``async with <x>.lock`` / ``with <x>._lock``).  Sleeping under the
+    lock blocks every query on that stream for the duration; deliberate
+    stall injection carries an allow-comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Rule
+from repro.analysis.framework import Checker
+from repro.analysis.source import SourceFile
+from repro.analysis.symbols import ImportTable
+
+#: Packages whose async code serves the hot path.
+ASYNC_SCOPES = ("repro.service",)
+
+#: Fully-qualified callables that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "socket.create_connection",
+        "shutil.rmtree",
+        "shutil.copytree",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.move",
+        "json.dump",
+        "json.load",
+        "open",
+    }
+)
+
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+#: Method names of the session/manager layer that grind numpy or disk;
+#: calling one directly from async code stalls the loop.  (Handing the
+#: bound method to ``asyncio.to_thread`` does not call it and is fine.)
+BLOCKING_METHODS = frozenset(
+    {
+        "ingest",
+        "advance",
+        "start",
+        "factors",
+        "fitness",
+        "anomalies",
+        "stats",
+        "telemetry_snapshot",
+        "save",
+        "load",
+        "recover",
+        "checkpoint_stream",
+        "checkpoint_all",
+        "drop_stream",
+        "extend",
+        "decompose",
+    }
+)
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == scope or module.startswith(scope + ".")
+        for scope in ASYNC_SCOPES
+    )
+
+
+def _is_lock_expr(node: ast.AST) -> bool:
+    """Heuristic: the expression names a lock (``x.lock``, ``self._lock``)."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    return name == "lock" or name.endswith("_lock")
+
+
+def _holds_lock(node: ast.AST, source: SourceFile) -> bool:
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expression = item.context_expr
+                # ``async with self.lock:`` or ``with lock.acquire():``.
+                if isinstance(expression, ast.Call):
+                    expression = expression.func
+                    if isinstance(expression, ast.Attribute) and (
+                        expression.attr == "acquire"
+                    ):
+                        expression = expression.value
+                if _is_lock_expr(expression):
+                    return True
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+    return False
+
+
+class AsyncSafetyChecker(Checker):
+    name = "async-safety"
+    rules = (
+        Rule(
+            id="blocking-call",
+            severity=SEVERITY_ERROR,
+            summary="blocking call inside async code",
+            rationale=(
+                "the event loop must stay responsive while numpy grinds; "
+                "route blocking work through asyncio.to_thread or an "
+                "executor"
+            ),
+        ),
+        Rule(
+            id="sleep-under-lock",
+            severity=SEVERITY_ERROR,
+            summary="await asyncio.sleep while holding a stream lock",
+            rationale=(
+                "sleeping under the lock blocks every query on the stream "
+                "for the duration; release the lock first"
+            ),
+        ),
+    )
+
+    def check_file(self, source: SourceFile) -> Iterator:
+        if not _in_scope(source.module):
+            return
+        imports = ImportTable.from_tree(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(node, source, imports)
+
+    def _check_async_body(
+        self,
+        function: ast.AsyncFunctionDef,
+        source: SourceFile,
+        imports: ImportTable,
+    ) -> Iterator:
+        for node in self._own_nodes(function):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved == "asyncio.sleep":
+                if _holds_lock(node, source):
+                    yield self.finding(
+                        "sleep-under-lock",
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        "asyncio.sleep awaited while holding a stream "
+                        "lock; every query on the stream blocks until it "
+                        "returns",
+                    )
+                continue
+            if isinstance(source.parents.get(node), ast.Await):
+                continue  # awaited calls are async, not blocking
+            if resolved is not None and (
+                resolved in BLOCKING_CALLS
+                or resolved.startswith(_BLOCKING_PREFIXES)
+            ):
+                yield self.finding(
+                    "blocking-call",
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"{resolved}() blocks the event loop inside async "
+                    f"function {function.name!r}; use asyncio.to_thread "
+                    "(or asyncio.sleep for delays)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+                and not imports.is_import_rooted(node.func)
+            ):
+                yield self.finding(
+                    "blocking-call",
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"direct call to numpy-heavy method "
+                    f".{node.func.attr}() inside async function "
+                    f"{function.name!r}; wrap it in asyncio.to_thread",
+                )
+
+    @staticmethod
+    def _own_nodes(function: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes whose nearest enclosing function is ``function`` (nested
+        defs are skipped: a nested closure may legitimately be handed to
+        ``asyncio.to_thread`` and run off-loop)."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))

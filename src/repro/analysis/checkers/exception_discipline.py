@@ -1,0 +1,143 @@
+"""Exception-discipline checker: no silently swallowed broad excepts.
+
+``broad-except``
+    An ``except Exception`` / ``except BaseException`` / bare ``except``
+    handler whose body neither re-raises nor records what happened
+    (logging, ``warnings.warn``, ``traceback`` formatting, or appending
+    the error to a result structure the caller inspects).  Also flags
+    ``contextlib.suppress(Exception)``.
+
+Broad handlers are sometimes right — a worker loop must survive any
+fault, a protocol boundary must answer malformed requests — but those
+sites must either log the error or carry an inline
+``# repro: allow[broad-except]`` comment stating why swallowing is safe.
+The checker's job is to make the *silent* swallow — the one that turns an
+ENOSPC during checkpoint into a mystery three restarts later — impossible
+to ship unannotated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Rule
+from repro.analysis.framework import Checker
+from repro.analysis.source import SourceFile
+from repro.analysis.symbols import ImportTable
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Attribute/function names whose presence in the handler body counts as
+#: "the error was recorded": loggers, warnings, traceback formatting.
+_RECORDING_ATTRS = frozenset(
+    {
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+        "warn",
+        "print_exc",
+        "format_exc",
+        "print_exception",
+        "format_exception",
+    }
+)
+
+
+def _is_broad_type(node: ast.AST | None, imports: ImportTable) -> bool:
+    """True for a bare handler, ``Exception``/``BaseException``, or a
+    tuple containing one of them."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_type(element, imports) for element in node.elts)
+    resolved = imports.resolve(node)
+    if resolved is None:
+        return False
+    return resolved.rsplit(".", 1)[-1] in _BROAD_NAMES
+
+
+def _handler_records_error(handler: ast.ExceptHandler) -> bool:
+    """The body re-raises, or calls something that records the error, or
+    stores the caught exception object somewhere the caller can see."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            function = node.func
+            name = (
+                function.attr
+                if isinstance(function, ast.Attribute)
+                else function.id
+                if isinstance(function, ast.Name)
+                else None
+            )
+            if name in _RECORDING_ATTRS:
+                return True
+        if bound is not None and isinstance(node, ast.Name):
+            # The caught exception is *used* — formatted into a message,
+            # appended to a failure dict, returned — not just dropped.
+            if node.id == bound and isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+class ExceptionDisciplineChecker(Checker):
+    name = "exception-discipline"
+    rules = (
+        Rule(
+            id="broad-except",
+            severity=SEVERITY_ERROR,
+            summary="broad except handler swallows the error silently",
+            rationale=(
+                "a swallowed Exception turns checkpoint corruption and "
+                "injected faults into mysteries; narrow the type, record "
+                "the error, or allow-comment the deliberate swallow"
+            ),
+        ),
+    )
+
+    def check_file(self, source: SourceFile) -> Iterator:
+        imports = ImportTable.from_tree(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if not _is_broad_type(node.type, imports):
+                    continue
+                if _handler_records_error(node):
+                    continue
+                label = (
+                    "bare except:"
+                    if node.type is None
+                    else "except Exception"
+                )
+                yield self.finding(
+                    "broad-except",
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"{label} handler neither re-raises nor records the "
+                    "error; narrow the exception type or log what was "
+                    "swallowed",
+                )
+            elif isinstance(node, ast.Call):
+                if imports.resolve(node.func) != "contextlib.suppress":
+                    continue
+                if any(
+                    _is_broad_type(argument, imports)
+                    and not isinstance(argument, ast.Tuple)
+                    for argument in node.args
+                ):
+                    yield self.finding(
+                        "broad-except",
+                        source,
+                        node.lineno,
+                        node.col_offset,
+                        "contextlib.suppress(Exception) swallows every "
+                        "error silently; suppress specific types or "
+                        "allow-comment the deliberate swallow",
+                    )

@@ -1,0 +1,223 @@
+"""Kernel-parity checker: every backend implements the whole kernel API.
+
+The backend registry promises that switching ``SNSConfig.backend`` never
+changes *what* is computed, only how fast.  Statically that decomposes
+into three invariants over :mod:`repro.kernels`:
+
+``kernel-missing``
+    Every name in ``KERNEL_NAMES`` (parsed from ``kernels/api.py``) is a
+    top-level function in every backend module.
+
+``kernel-signature``
+    Each backend kernel's positional parameters match the numpy
+    reference's, name for name in order (annotations and defaults are the
+    backend's business; the *calling convention* is not).
+
+``kernel-nopython-call``
+    Functions compiled ``nopython`` in the numba backend (decorated with
+    ``@_jit`` / ``@njit``) only call a small allowlist of
+    nopython-compilable callables: scalar builtins, the handful of numpy
+    constructors LLVM lowers, and sibling jitted functions.  Anything
+    else would either fail to compile at first call (the failure mode the
+    lazy-compilation design hides until production) or silently fall back
+    to object mode.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Rule
+from repro.analysis.framework import Checker
+from repro.analysis.source import Project, SourceFile
+from repro.analysis.symbols import ImportTable
+
+API_MODULE = "repro.kernels.api"
+REFERENCE_BACKEND = "repro.kernels.numpy_backend"
+#: Backends checked against the reference, plus whether their jitted
+#: functions must respect the nopython allowlist.
+BACKEND_MODULES = (
+    (REFERENCE_BACKEND, False),
+    ("repro.kernels.numba_backend", True),
+)
+
+_JIT_DECORATORS = frozenset({"_jit", "njit", "jit"})
+
+#: Callables safe inside nopython code: scalar builtins plus the numpy
+#: constructors/ufuncs numba lowers without object mode.
+NOPYTHON_ALLOWED_CALLS = frozenset(
+    {
+        "range",
+        "len",
+        "min",
+        "max",
+        "abs",
+        "int",
+        "float",
+        "bool",
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.ones",
+        "numpy.zeros_like",
+        "numpy.empty_like",
+        "numpy.sqrt",
+        "numpy.abs",
+        "numpy.dot",
+    }
+)
+
+
+def parse_kernel_names(source: SourceFile) -> list[str]:
+    """The ``KERNEL_NAMES`` tuple of the API module (empty if absent)."""
+    for node in source.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "KERNEL_NAMES"
+            for target in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return []
+        names = []
+        for element in node.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+        return names
+    return []
+
+
+def _top_level_functions(source: SourceFile) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in source.tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _positional_names(function: ast.FunctionDef) -> list[str]:
+    arguments = function.args
+    return [arg.arg for arg in arguments.posonlyargs + arguments.args]
+
+
+def _is_jitted(function: ast.FunctionDef) -> bool:
+    for decorator in function.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id in _JIT_DECORATORS:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in _JIT_DECORATORS:
+            return True
+    return False
+
+
+class KernelParityChecker(Checker):
+    name = "kernel-parity"
+    rules = (
+        Rule(
+            id="kernel-missing",
+            severity=SEVERITY_ERROR,
+            summary="backend does not implement a declared kernel",
+            rationale=(
+                "KERNEL_NAMES is the backend contract; a missing kernel "
+                "surfaces as an AttributeError at registry load time"
+            ),
+        ),
+        Rule(
+            id="kernel-signature",
+            severity=SEVERITY_ERROR,
+            summary="backend kernel signature differs from the reference",
+            rationale=(
+                "call sites are written once against the API; positional "
+                "parameters must match the numpy reference name for name"
+            ),
+        ),
+        Rule(
+            id="kernel-nopython-call",
+            severity=SEVERITY_ERROR,
+            summary="non-allowlisted call inside a nopython kernel",
+            rationale=(
+                "nopython code that calls unsupported functions fails at "
+                "first (lazy) compile — in production, not at import"
+            ),
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterator:
+        api = project.get(API_MODULE)
+        if api is None:
+            return
+        kernel_names = parse_kernel_names(api)
+        if not kernel_names:
+            return
+        reference = project.get(REFERENCE_BACKEND)
+        reference_functions = (
+            _top_level_functions(reference) if reference is not None else {}
+        )
+        for module_name, nopython in BACKEND_MODULES:
+            source = project.get(module_name)
+            if source is None:
+                continue
+            functions = _top_level_functions(source)
+            for kernel in kernel_names:
+                function = functions.get(kernel)
+                if function is None:
+                    yield self.finding(
+                        "kernel-missing",
+                        source,
+                        1,
+                        0,
+                        f"backend {module_name} does not define kernel "
+                        f"{kernel!r} declared in {API_MODULE}.KERNEL_NAMES",
+                    )
+                    continue
+                reference_function = reference_functions.get(kernel)
+                if (
+                    reference_function is not None
+                    and function is not reference_function
+                ):
+                    expected = _positional_names(reference_function)
+                    actual = _positional_names(function)
+                    if actual != expected:
+                        yield self.finding(
+                            "kernel-signature",
+                            source,
+                            function.lineno,
+                            function.col_offset,
+                            f"kernel {kernel!r} takes {actual}, but the "
+                            f"numpy reference takes {expected}",
+                        )
+            if nopython:
+                yield from self._check_nopython(source, functions)
+
+    def _check_nopython(
+        self, source: SourceFile, functions: dict[str, ast.FunctionDef]
+    ) -> Iterator:
+        imports = ImportTable.from_tree(source.tree)
+        jitted_names = {
+            name for name, function in functions.items() if _is_jitted(function)
+        }
+        for name in sorted(jitted_names):
+            for node in ast.walk(functions[name]):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = imports.resolve(node.func)
+                if resolved is None:
+                    # Attribute calls on runtime objects (array methods
+                    # like .copy()/.sum()) are numba's to support; the
+                    # allowlist governs free-function calls.
+                    continue
+                if resolved in NOPYTHON_ALLOWED_CALLS:
+                    continue
+                if resolved in jitted_names:
+                    continue
+                yield self.finding(
+                    "kernel-nopython-call",
+                    source,
+                    node.lineno,
+                    node.col_offset,
+                    f"nopython kernel {name!r} calls {resolved}(), which "
+                    "is not on the nopython-safe allowlist",
+                )

@@ -1,0 +1,143 @@
+"""Lock-discipline checker: declared lock-guarded methods stay guarded.
+
+The service's atomic-snapshot guarantee — a query never observes a
+half-applied chunk — rests on one convention: every touch of a stream's
+numeric state happens inside ``async with <stream>.lock``.  The convention
+is *declared in the code it governs*: a module opts in by defining::
+
+    LOCK_GUARDED_METHODS = frozenset({
+        "session.ingest", "manager.checkpoint_stream", ...
+    })
+
+Each entry is ``receiver.method``.  The checker then requires every
+mention of ``<...receiver>.<method>`` in that module — a direct call *or*
+a bound method handed to ``asyncio.to_thread`` — to sit lexically inside
+a ``with`` / ``async with`` block whose context manager names a lock
+(``x.lock``, ``self._lock``, ``lock.acquire()``).  Deliberate unguarded
+mentions (e.g. shutdown paths after every worker has stopped) carry an
+inline ``# repro: allow[lock-discipline]`` justification.
+
+Modules without a declaration are untouched, so the rule costs nothing
+until a module opts into the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import SEVERITY_ERROR, Rule
+from repro.analysis.framework import Checker
+from repro.analysis.source import SourceFile
+from repro.analysis.symbols import receiver_name
+
+DECLARATION_NAME = "LOCK_GUARDED_METHODS"
+
+
+def _string_elements(node: ast.AST) -> list[str] | None:
+    """Constant strings of a set/tuple/list literal, possibly wrapped in a
+    ``set(...)`` / ``frozenset(...)`` call; ``None`` if not that shape."""
+    if isinstance(node, ast.Call) and len(node.args) == 1:
+        function = node.func
+        if isinstance(function, ast.Name) and function.id in (
+            "set",
+            "frozenset",
+        ):
+            node = node.args[0]
+    if not isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+def parse_declaration(tree: ast.Module) -> dict[str, set[str]] | None:
+    """``{method: {receivers...}}`` from the module's declaration, or
+    ``None`` when the module does not declare lock-guarded methods."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == DECLARATION_NAME
+            for target in node.targets
+        ):
+            continue
+        entries = _string_elements(node.value)
+        if entries is None:
+            return None
+        guarded: dict[str, set[str]] = {}
+        for entry in entries:
+            receiver, _, method = entry.rpartition(".")
+            if receiver and method:
+                guarded.setdefault(method, set()).add(receiver)
+        return guarded
+    return None
+
+
+def _inside_lock_scope(node: ast.AST, source: SourceFile) -> bool:
+    for ancestor in source.ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expression = item.context_expr
+                if isinstance(expression, ast.Call):
+                    function = expression.func
+                    if (
+                        isinstance(function, ast.Attribute)
+                        and function.attr == "acquire"
+                    ):
+                        expression = function.value
+                if isinstance(expression, ast.Attribute):
+                    name = expression.attr
+                elif isinstance(expression, ast.Name):
+                    name = expression.id
+                else:
+                    continue
+                if name == "lock" or name.endswith("_lock"):
+                    return True
+    return False
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rules = (
+        Rule(
+            id="lock-discipline",
+            severity=SEVERITY_ERROR,
+            summary="declared lock-guarded method used outside a lock scope",
+            rationale=(
+                "the atomic-snapshot read path holds only while every "
+                "mention of a guarded session/manager method sits inside "
+                "an async with <stream>.lock block"
+            ),
+        ),
+    )
+
+    def check_file(self, source: SourceFile) -> Iterator:
+        guarded = parse_declaration(source.tree)
+        if not guarded:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            receivers = guarded.get(node.attr)
+            if receivers is None:
+                continue
+            if receiver_name(node) not in receivers:
+                continue
+            if _inside_lock_scope(node, source):
+                continue
+            yield self.finding(
+                "lock-discipline",
+                source,
+                node.lineno,
+                node.col_offset,
+                f"lock-guarded method .{node.attr} used outside an "
+                "async with <stream>.lock scope (declared in "
+                f"{DECLARATION_NAME})",
+            )

@@ -1,0 +1,100 @@
+"""Import-aware symbol resolution for the checkers.
+
+The checkers ask one question constantly: *what fully-qualified name does
+this call refer to?*  :class:`ImportTable` answers it from the module's
+import statements — ``import numpy as np`` makes ``np.random.rand``
+resolve to ``numpy.random.rand``; ``from time import time`` makes a bare
+``time()`` resolve to ``time.time``.
+
+This is deliberately a *module-scoped* table with no flow analysis: local
+variables that shadow an import are not tracked.  For the invariants
+enforced here (RNG discipline, wall-clock calls, blocking calls) the
+module-level view is what matters, and the occasional shadowing miss is an
+accepted false negative, never a false positive on clean code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportTable:
+    """Alias -> fully-qualified dotted name, built from import statements."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportTable":
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        table._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the root name.
+                        root = alias.name.split(".", 1)[0]
+                        table._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    # Relative imports resolve inside the package; the
+                    # invariants here target stdlib/numpy names, so skip.
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    table._aliases[bound] = f"{node.module}.{alias.name}"
+        return table
+
+    @staticmethod
+    def _name_chain(node: ast.AST) -> list[str] | None:
+        """The dotted chain of a Name/Attribute expression, or ``None`` when
+        the base is not a plain name (``self.x.y``, calls, subscripts)."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+
+    def is_import_rooted(self, node: ast.AST) -> bool:
+        """True when the expression's base name is a known import alias
+        (``np.random.rand`` with ``import numpy as np``) — i.e. the chain
+        names a module member, not an attribute of a runtime object."""
+        parts = self._name_chain(node)
+        return parts is not None and parts[0] in self._aliases
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of a Name/Attribute expression.
+
+        Unimported bare names resolve to themselves (builtins like ``open``
+        and ``sorted`` keep their name).  Attribute chains on non-name bases
+        resolve to ``None``.
+        """
+        parts = self._name_chain(node)
+        if parts is None:
+            return None
+        head = self._aliases.get(parts[0])
+        if head is not None:
+            parts = head.split(".") + parts[1:]
+        return ".".join(parts)
+
+
+def receiver_name(node: ast.AST) -> str | None:
+    """Trailing identifier of an attribute's receiver expression.
+
+    ``session.ingest`` -> ``"session"``; ``self.manager.checkpoint_all`` ->
+    ``"manager"``; receivers that end in a call or subscript -> ``None``.
+    """
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None

@@ -9,9 +9,11 @@ Examples
     python -m repro.cli table2
     slicenstitch fig9 --dataset nyc_taxi
     slicenstitch serve --port 7342 --checkpoint-root ./state
+    slicenstitch lint --format json
 
 ``serve`` starts the multi-tenant streaming service
-(:mod:`repro.service`); every other subcommand reproduces one experiment.
+(:mod:`repro.service`); ``lint`` runs the static invariant checkers
+(:mod:`repro.analysis`); every other subcommand reproduces one experiment.
 """
 
 from __future__ import annotations
@@ -184,7 +186,9 @@ def run(argv: Sequence[str] | None = None) -> str:
     """Run the selected experiment and return its text report.
 
     The ``serve`` subcommand is special: it starts the streaming service
-    (which blocks until shutdown) and returns an empty report.
+    (which blocks until shutdown) and returns an empty report.  ``lint``
+    is too: it runs the static checkers and exits with their status
+    (0 clean, 1 findings) via :class:`SystemExit`.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["serve"]:
@@ -192,6 +196,10 @@ def run(argv: Sequence[str] | None = None) -> str:
 
         serve_main(argv[1:])
         return ""
+    if argv[:1] == ["lint"]:
+        from repro.analysis.cli import main as lint_main
+
+        raise SystemExit(lint_main(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.backend != "auto":
         # Pin the process-wide default too, so helper models constructed

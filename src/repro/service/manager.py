@@ -15,7 +15,12 @@ import shutil
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import CheckpointError, ConfigurationError, ServiceError
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+)
 from repro.service.config import ServiceConfig, StreamConfig
 from repro.service.session import StreamSession
 
@@ -126,7 +131,11 @@ class ServiceManager:
         for stream_id in self.stream_ids:
             try:
                 self.checkpoint_stream(stream_id)
-            except Exception:
+            except (ReproError, OSError):
+                # Known failure modes only (service/checkpoint/injected
+                # faults, disk errors); session.save already recorded the
+                # cause on the stream's telemetry.  Anything else is a bug
+                # and should propagate.
                 continue
             written.append(stream_id)
         return written

@@ -72,6 +72,20 @@ from repro.service.protocol import (
 )
 from repro.stream import checkpoint as checkpoint_module
 
+#: Lock-discipline contract, enforced by ``repro lint``: every mention of
+#: ``<receiver>.<method>`` below must sit inside an ``async with
+#: <stream>.lock`` block (the atomic-snapshot guarantee).  Deliberate
+#: unguarded uses (shutdown after the workers stopped, streams that never
+#: had a worker) carry an inline ``# repro: allow[lock-discipline]``.
+LOCK_GUARDED_METHODS = frozenset(
+    {
+        "session.ingest",
+        "session.advance",
+        "manager.checkpoint_stream",
+        "manager.checkpoint_all",
+    }
+)
+
 
 class _StreamWorker:
     """Queue + lock + apply-loop + seq-dedup window of one stream."""
@@ -147,6 +161,9 @@ class _StreamWorker:
                             "worker.stall", stream=self.stream_id
                         )
                         if stall is not None and stall.kind == "delay":
+                            # Deliberate chaos injection: the stall *must*
+                            # block the stream so the watchdog sees it.
+                            # repro: allow[sleep-under-lock] injected stall
                             await asyncio.sleep(stall.delay)
                         action = faults.check("apply", stream=self.stream_id)
                         if action is not None:
@@ -272,8 +289,11 @@ class _CheckpointWriter:
         worker = server._workers.get(stream_id)
         try:
             if worker is None:
+                # No worker == no concurrent ingest on this stream.
                 await asyncio.to_thread(
-                    server.manager.checkpoint_stream, stream_id
+                    # repro: allow[lock-discipline] stream has no worker
+                    server.manager.checkpoint_stream,
+                    stream_id,
                 )
             else:
                 async with worker.lock:
@@ -282,9 +302,9 @@ class _CheckpointWriter:
                     )
         except asyncio.CancelledError:
             raise
-        except Exception:
-            # session.save already recorded the failure on the stream's
-            # telemetry (degraded state); schedule the backoff retry.
+        # The writer task must survive *any* write failure; session.save
+        # already recorded the cause on the stream's telemetry (degraded).
+        except Exception:  # repro: allow[broad-except] retried via backoff
             self._schedule_retry(stream_id)
         else:
             self.forget(stream_id)
@@ -363,7 +383,7 @@ class StreamingServer:
 
     async def start(self) -> tuple[str, int]:
         """Recover persisted streams and start accepting connections."""
-        self.manager.recover()
+        await asyncio.to_thread(self.manager.recover)
         self._server = await asyncio.start_server(
             self._handle_client,
             host=self.host,
@@ -404,6 +424,9 @@ class StreamingServer:
             await worker.queue.join()
             await worker.stop()
         await self._writer.stop()
+        # Every worker and the writer have stopped: nothing else can touch
+        # the sessions, so the final sweep needs no per-stream lock.
+        # repro: allow[lock-discipline] quiesced shutdown sweep
         await asyncio.to_thread(self.manager.checkpoint_all)
         if self._hook_installed:
             checkpoint_module.install_write_fault_hook(None)
@@ -537,6 +560,8 @@ class StreamingServer:
             pass
         finally:
             writer.close()
+            # Peer may already be gone; nothing to do about close errors.
+            # repro: allow[broad-except] best-effort socket teardown
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 

@@ -441,6 +441,7 @@ class StreamSession:
             self.telemetry.checkpoints_written,
             self.telemetry.events_since_checkpoint,
             self.telemetry.last_checkpoint_time,
+            self.telemetry.last_checkpoint_monotonic,
             self.telemetry.checkpoint_failure_streak,
             self.telemetry.last_checkpoint_error,
         )
@@ -476,6 +477,7 @@ class StreamSession:
                 self.telemetry.checkpoints_written,
                 self.telemetry.events_since_checkpoint,
                 self.telemetry.last_checkpoint_time,
+                self.telemetry.last_checkpoint_monotonic,
                 self.telemetry.checkpoint_failure_streak,
                 self.telemetry.last_checkpoint_error,
             ) = rollback

@@ -38,8 +38,13 @@ class StreamTelemetry:
     checkpoints_written: int = 0
     #: Events applied since the last checkpoint (drives count-triggered saves).
     events_since_checkpoint: int = 0
-    #: Unix time of the last checkpoint write (0.0 = never).
+    #: Unix time of the last checkpoint write (0.0 = never).  Diagnostic
+    #: only — ``checkpoint_age`` prefers the monotonic stamp below.
     last_checkpoint_time: float = 0.0
+    #: ``time.monotonic()`` stamp of the last checkpoint written *by this
+    #: process* (0.0 = none yet).  Never persisted: monotonic clocks are
+    #: process-local, so a restored stream falls back to wall-clock age.
+    last_checkpoint_monotonic: float = 0.0
     #: Checkpoint write attempts that failed (lifetime).
     checkpoint_failures: int = 0
     #: Consecutive failed checkpoint attempts since the last success
@@ -77,7 +82,11 @@ class StreamTelemetry:
         """Account one written checkpoint and reset the since-counter."""
         self.checkpoints_written += 1
         self.events_since_checkpoint = 0
+        # Persisted diagnostic timestamp; in-process staleness math uses
+        # the monotonic stamp below, not this.
+        # repro: allow[wall-clock] persisted diagnostic timestamp
         self.last_checkpoint_time = time.time()
+        self.last_checkpoint_monotonic = time.monotonic()
         self.checkpoint_failure_streak = 0
         self.last_checkpoint_error = None
 
@@ -95,14 +104,28 @@ class StreamTelemetry:
 
     @property
     def checkpoint_age(self) -> float | None:
-        """Seconds since the last checkpoint, or ``None`` if never written."""
+        """Seconds since the last checkpoint, or ``None`` if never written.
+
+        Checkpoints written by this process are aged with the monotonic
+        clock, immune to wall-clock steps (an NTP jump must not flip a
+        healthy stream into the stale alarm).  A freshly recovered stream
+        has no monotonic stamp yet, so its age falls back to the persisted
+        wall-clock timestamp, clamped at zero.
+        """
+        if self.last_checkpoint_monotonic > 0.0:
+            return max(time.monotonic() - self.last_checkpoint_monotonic, 0.0)
         if self.last_checkpoint_time <= 0.0:
             return None
+        # The monotonic stamp does not survive a restart; the persisted
+        # wall timestamp is the only age signal a recovered stream has.
+        # repro: allow[wall-clock] cross-restart staleness fallback
         return max(time.time() - self.last_checkpoint_time, 0.0)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable snapshot (includes the derived fields)."""
         payload = dataclasses.asdict(self)
+        # Monotonic stamps are meaningless outside this process.
+        payload.pop("last_checkpoint_monotonic", None)
         payload["checkpoint_age"] = self.checkpoint_age
         payload["degraded"] = self.degraded
         return payload

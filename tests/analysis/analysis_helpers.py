@@ -1,0 +1,27 @@
+"""Helpers for the static-analysis tests.
+
+Checkers are exercised on in-memory fixture modules
+(:meth:`repro.analysis.source.Project.from_sources`), so every test states
+its whole world: the module's dotted name (which decides scoping) and its
+source text.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.framework import Checker, LintResult, run_checkers
+from repro.analysis.source import Project
+
+
+def lint(sources: dict[str, str], *checkers: Checker) -> LintResult:
+    """Run ``checkers`` over ``{module: source}`` fixture snippets."""
+    dedented = {
+        module: textwrap.dedent(text) for module, text in sources.items()
+    }
+    return run_checkers(Project.from_sources(dedented), list(checkers))
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    """Rule ids of the active findings, in report order."""
+    return [finding.rule for finding in result.findings]

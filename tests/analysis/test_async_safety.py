@@ -1,0 +1,188 @@
+"""Async-safety checker: blocking calls and sleeps under stream locks."""
+
+from __future__ import annotations
+
+from analysis_helpers import lint, rule_ids
+from repro.analysis.checkers.async_safety import AsyncSafetyChecker
+
+
+def check(sources):
+    return lint(sources, AsyncSafetyChecker())
+
+
+class TestBlockingCall:
+    def test_time_sleep_in_async_def_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import time
+
+                async def handler():
+                    time.sleep(1.0)
+                """
+            }
+        )
+        assert rule_ids(result) == ["blocking-call"]
+
+    def test_open_in_async_def_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                async def handler(path):
+                    with open(path) as handle:
+                        return handle.read()
+                """
+            }
+        )
+        assert rule_ids(result) == ["blocking-call"]
+
+    def test_direct_session_method_call_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                async def handler(session, chunk):
+                    session.ingest(chunk)
+                """
+            }
+        )
+        assert rule_ids(result) == ["blocking-call"]
+
+    def test_to_thread_wrapping_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+
+                async def handler(session, chunk):
+                    await asyncio.to_thread(session.ingest, chunk)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_awaited_method_of_same_name_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                async def handler(server):
+                    await server.start()
+                """
+            }
+        )
+        assert result.clean
+
+    def test_blocking_call_in_sync_code_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import time
+
+                def sync_helper():
+                    time.sleep(1.0)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_nested_def_handed_off_loop_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+
+                async def handler(session, chunk):
+                    def apply():
+                        session.ingest(chunk)
+                    await asyncio.to_thread(apply)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_outside_service_scope_is_fine(self):
+        result = check(
+            {
+                "repro.experiments.x": """
+                import time
+
+                async def handler():
+                    time.sleep(1.0)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_suppression(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import time
+
+                async def handler():
+                    time.sleep(0.0)  # repro: allow[blocking-call] yield hack
+                """
+            }
+        )
+        assert result.clean
+
+
+class TestSleepUnderLock:
+    def test_asyncio_sleep_under_stream_lock_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+
+                async def worker(stream):
+                    async with stream.lock:
+                        await asyncio.sleep(1.0)
+                """
+            }
+        )
+        assert rule_ids(result) == ["sleep-under-lock"]
+
+    def test_sleep_outside_the_lock_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+
+                async def worker(stream):
+                    async with stream.lock:
+                        stream.tick()
+                    await asyncio.sleep(1.0)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_non_lock_context_manager_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+                import contextlib
+
+                async def worker():
+                    with contextlib.suppress(KeyError):
+                        await asyncio.sleep(1.0)
+                """
+            }
+        )
+        assert result.clean
+
+    def test_suppression(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import asyncio
+
+                async def worker(stream):
+                    async with stream.lock:
+                        # repro: allow[sleep-under-lock] injected stall
+                        await asyncio.sleep(1.0)
+                """
+            }
+        )
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["sleep-under-lock"]

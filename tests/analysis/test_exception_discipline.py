@@ -1,0 +1,160 @@
+"""Exception-discipline checker: no silent broad excepts."""
+
+from __future__ import annotations
+
+from analysis_helpers import lint, rule_ids
+from repro.analysis.checkers.exception_discipline import (
+    ExceptionDisciplineChecker,
+)
+
+
+def check(sources):
+    return lint(sources, ExceptionDisciplineChecker())
+
+
+class TestBroadExcept:
+    def test_silent_except_exception_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        assert rule_ids(result) == ["broad-except"]
+
+    def test_bare_except_is_flagged(self):
+        result = check(
+            {
+                "repro.core.x": """
+                def f():
+                    try:
+                        risky()
+                    except:
+                        pass
+                """
+            }
+        )
+        assert rule_ids(result) == ["broad-except"]
+        assert "bare except" in result.findings[0].message
+
+    def test_applies_outside_state_scopes_too(self):
+        result = check(
+            {
+                "repro.experiments.x": """
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        assert rule_ids(result) == ["broad-except"]
+
+    def test_narrow_handler_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                def f():
+                    try:
+                        risky()
+                    except (ValueError, OSError):
+                        pass
+                """
+            }
+        )
+        assert result.clean
+
+    def test_reraising_handler_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        cleanup()
+                        raise
+                """
+            }
+        )
+        assert result.clean
+
+    def test_logging_handler_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import logging
+
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        logging.exception("risky failed")
+                """
+            }
+        )
+        assert result.clean
+
+    def test_using_the_bound_error_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                def f(failed):
+                    try:
+                        risky()
+                    except Exception as error:
+                        failed["x"] = f"{type(error).__name__}: {error}"
+                """
+            }
+        )
+        assert result.clean
+
+    def test_suppress_exception_is_flagged(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import contextlib
+
+                def f():
+                    with contextlib.suppress(Exception):
+                        risky()
+                """
+            }
+        )
+        assert rule_ids(result) == ["broad-except"]
+
+    def test_suppress_of_specific_types_is_fine(self):
+        result = check(
+            {
+                "repro.service.x": """
+                import contextlib
+
+                def f():
+                    with contextlib.suppress(KeyError, FileNotFoundError):
+                        risky()
+                """
+            }
+        )
+        assert result.clean
+
+    def test_suppression_comment(self):
+        result = check(
+            {
+                "repro.service.x": """
+                def f():
+                    try:
+                        risky()
+                    # repro: allow[broad-except] best-effort teardown
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["broad-except"]

@@ -1,0 +1,163 @@
+"""Kernel-parity checker: backends implement the full API identically."""
+
+from __future__ import annotations
+
+from analysis_helpers import lint, rule_ids
+from repro.analysis.checkers.kernel_parity import KernelParityChecker
+
+API = """
+KERNEL_NAMES = ("row_update", "score_slice")
+"""
+
+NUMPY_BACKEND = """
+import numpy as np
+
+def row_update(factors, deltas, eta):
+    return factors + eta * deltas
+
+def score_slice(factors, values):
+    return np.sqrt(values)
+"""
+
+
+def check(numba_source, api=API, numpy_source=NUMPY_BACKEND):
+    return lint(
+        {
+            "repro.kernels.api": api,
+            "repro.kernels.numpy_backend": numpy_source,
+            "repro.kernels.numba_backend": numba_source,
+        },
+        KernelParityChecker(),
+    )
+
+
+CLEAN_NUMBA = """
+import numpy as np
+from repro.kernels.numba_backend_support import _jit
+
+@_jit
+def row_update(factors, deltas, eta):
+    out = np.empty_like(factors)
+    for i in range(len(factors)):
+        out[i] = factors[i] + eta * deltas[i]
+    return out
+
+@_jit
+def score_slice(factors, values):
+    return np.sqrt(values)
+"""
+
+
+class TestKernelParity:
+    def test_matching_backends_are_clean(self):
+        assert check(CLEAN_NUMBA).clean
+
+    def test_missing_kernel_is_flagged(self):
+        result = check(
+            """
+            def row_update(factors, deltas, eta):
+                return factors
+            """
+        )
+        assert rule_ids(result) == ["kernel-missing"]
+        assert "score_slice" in result.findings[0].message
+
+    def test_signature_mismatch_is_flagged(self):
+        result = check(
+            """
+            def row_update(factors, eta, deltas):
+                return factors
+
+            def score_slice(factors, values):
+                return values
+            """
+        )
+        assert rule_ids(result) == ["kernel-signature"]
+        mismatch = result.findings[0]
+        assert "['factors', 'eta', 'deltas']" in mismatch.message
+        assert "['factors', 'deltas', 'eta']" in mismatch.message
+
+    def test_extra_trailing_parameter_is_flagged(self):
+        result = check(
+            """
+            def row_update(factors, deltas, eta, workspace):
+                return factors
+
+            def score_slice(factors, values):
+                return values
+            """
+        )
+        assert rule_ids(result) == ["kernel-signature"]
+
+    def test_non_allowlisted_call_in_jitted_kernel_is_flagged(self):
+        result = check(
+            """
+            import json
+            import numpy as np
+            from repro.kernels.numba_backend_support import _jit
+
+            @_jit
+            def row_update(factors, deltas, eta):
+                json.dumps("not nopython-safe")
+                return factors
+
+            @_jit
+            def score_slice(factors, values):
+                return np.sqrt(values)
+            """
+        )
+        assert rule_ids(result) == ["kernel-nopython-call"]
+        assert "json.dumps" in result.findings[0].message
+
+    def test_calls_between_jitted_kernels_are_fine(self):
+        result = check(
+            """
+            import numpy as np
+            from repro.kernels.numba_backend_support import _jit
+
+            @_jit
+            def row_update(factors, deltas, eta):
+                return factors
+
+            @_jit
+            def score_slice(factors, values):
+                scaled = row_update(factors, values, 1.0)
+                return np.sqrt(scaled)
+            """
+        )
+        assert result.clean
+
+    def test_unjitted_helpers_are_not_restricted(self):
+        result = check(
+            """
+            import json
+            import numpy as np
+
+            def row_update(factors, deltas, eta):
+                json.dumps("plain python may call anything")
+                return factors
+
+            def score_slice(factors, values):
+                return np.sqrt(values)
+            """
+        )
+        assert result.clean
+
+    def test_missing_api_module_checks_nothing(self):
+        result = lint(
+            {"repro.kernels.numba_backend": "def orphan():\n    pass\n"},
+            KernelParityChecker(),
+        )
+        assert result.clean
+
+    def test_live_tree_backends_are_in_parity(self):
+        from pathlib import Path
+
+        import repro.kernels
+        from repro.analysis.framework import run_checkers
+        from repro.analysis.source import Project
+
+        root = Path(repro.kernels.__file__).resolve().parents[1]
+        project = Project.load(root)
+        result = run_checkers(project, [KernelParityChecker()])
+        assert result.clean, [f.format_text() for f in result.findings]

@@ -1,0 +1,111 @@
+"""Lock-discipline checker: declared guarded methods stay under the lock."""
+
+from __future__ import annotations
+
+import textwrap
+
+from analysis_helpers import lint, rule_ids
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+
+HEADER = (
+    'LOCK_GUARDED_METHODS = frozenset('
+    '{"session.ingest", "manager.checkpoint_stream"})\n'
+)
+
+
+def check_declared(body: str):
+    """Lint one repro.service module that opts into the contract."""
+    source = HEADER + textwrap.dedent(body)
+    return lint({"repro.service.x": source}, LockDisciplineChecker())
+
+
+class TestLockDiscipline:
+    def test_unguarded_call_is_flagged(self):
+        result = check_declared(
+            """
+            async def handler(session, chunk):
+                session.ingest(chunk)
+            """
+        )
+        assert rule_ids(result) == ["lock-discipline"]
+        assert ".ingest" in result.findings[0].message
+
+    def test_call_under_async_with_lock_is_fine(self):
+        result = check_declared(
+            """
+            async def handler(worker, session, chunk):
+                async with worker.lock:
+                    session.ingest(chunk)
+            """
+        )
+        assert result.clean
+
+    def test_bound_method_reference_is_also_checked(self):
+        result = check_declared(
+            """
+            import asyncio
+
+            async def handler(manager, stream_id):
+                await asyncio.to_thread(
+                    manager.checkpoint_stream, stream_id
+                )
+            """
+        )
+        assert rule_ids(result) == ["lock-discipline"]
+
+    def test_guarded_bound_reference_is_fine(self):
+        result = check_declared(
+            """
+            import asyncio
+
+            async def handler(worker, manager, stream_id):
+                async with worker.lock:
+                    await asyncio.to_thread(
+                        manager.checkpoint_stream, stream_id
+                    )
+            """
+        )
+        assert result.clean
+
+    def test_other_receiver_is_not_matched(self):
+        result = check_declared(
+            """
+            async def handler(server):
+                await server.start()
+                server.ingest("not the session")
+            """
+        )
+        assert result.clean
+
+    def test_underscore_lock_names_count(self):
+        result = check_declared(
+            """
+            def handler(self, session, chunk):
+                with self._stream_lock:
+                    session.ingest(chunk)
+            """
+        )
+        assert result.clean
+
+    def test_module_without_declaration_is_untouched(self):
+        result = lint(
+            {
+                "repro.service.x": """
+                async def handler(session, chunk):
+                    session.ingest(chunk)
+                """
+            },
+            LockDisciplineChecker(),
+        )
+        assert result.clean
+
+    def test_suppression(self):
+        result = check_declared(
+            """
+            def shutdown(manager, stream_id):
+                # repro: allow[lock-discipline] workers already stopped
+                manager.checkpoint_stream(stream_id)
+            """
+        )
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["lock-discipline"]

@@ -30,6 +30,7 @@ class TestPublicApi:
             "repro.metrics",
             "repro.anomaly",
             "repro.experiments",
+            "repro.analysis",
             "repro.cli",
         ],
     )
