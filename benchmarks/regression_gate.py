@@ -89,6 +89,12 @@ WATCHED: dict[str, tuple[Metric, ...]] = {
     "BENCH_chaos.json": (
         Metric("soak.goodput_records_per_second", "higher", 0.50),
     ),
+    # The sharded throughput *ratios* are same-box by construction, so only
+    # the exact-path throughput is speed-gated; the accuracy/speedup bars
+    # live in REQUIRED_FLAGS below.
+    "BENCH_sharded.json": (
+        Metric("exact.sns_vec.events_per_second", "higher", 0.30),
+    ),
     # BENCH_parallel.json is intentionally not speed-gated: its speedup is
     # a function of the runner's CPU count (the committed baseline ran on a
     # 1-CPU container).  Only its correctness flag is enforced.
@@ -97,6 +103,7 @@ WATCHED: dict[str, tuple[Metric, ...]] = {
 #: Boolean flags that must be true on the current side whenever present.
 REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
     "BENCH_parallel.json": ("results_identical",),
+    "BENCH_sharded.json": ("deviation_within_bound", "meets_speedup_floor"),
     "BENCH_service.json": ("concurrent_equals_sequential",),
     "BENCH_chaos.json": ("converged_to_fault_free_state",),
 }
@@ -200,11 +207,28 @@ def check(
                 print(f"  [skip] {message}")
             continue
         for metric in metrics:
+            # The two sides are deliberately looked up separately: a metric
+            # the baseline never had is skipped (old baseline, new metric),
+            # but a metric the baseline has and the fresh run dropped is a
+            # failure — a silently vanished number must not turn the gate
+            # green.
             try:
                 base_value = float(_lookup(baseline, metric.path))
+            except KeyError:
+                print(
+                    f"  [skip] {filename}: baseline has no metric "
+                    f"{metric.path!r}; skipped"
+                )
+                continue
+            try:
                 curr_value = float(_lookup(current, metric.path))
-            except KeyError as error:
-                print(f"  [skip] {filename}: no metric {error}; skipped")
+            except KeyError:
+                message = (
+                    f"{filename}: current run is missing metric "
+                    f"{metric.path!r} (baseline has {base_value:.6g})"
+                )
+                print(f"  [FAIL] {message}")
+                failures.append(message)
                 continue
             tolerance = metric.tolerance * slack
             if metric.direction == "higher":

@@ -14,7 +14,8 @@ make the three historical ways of breaking that contract un-shippable:
 
 ``wall-clock``
     ``time.time()`` / ``datetime.now()``-family calls inside the
-    state-affecting packages (core, stream, tensor, anomaly, service).
+    state-affecting packages (core, stream, tensor, anomaly, service,
+    shard).
     Replayed runs must not read the clock; observability timestamps that
     genuinely need wall time carry an explicit allow-comment.
 
@@ -44,6 +45,7 @@ STATE_SCOPES = (
     "repro.tensor",
     "repro.anomaly",
     "repro.service",
+    "repro.shard",
 )
 
 #: ``random`` module attributes that are fine to call: instance

@@ -58,6 +58,8 @@ Entries = tuple[tuple[Coordinate, float], ...]
 class RandomizedCPD(ContinuousCPD):
     """Base class of the θ-bounded randomised variants."""
 
+    shard_sampled = True
+
     def __init__(self, config: SNSConfig) -> None:
         super().__init__(config)
         if config.sampling == "legacy":
@@ -125,8 +127,8 @@ class RandomizedCPD(ContinuousCPD):
         # per-event matrices between rows — that is the engine's job.
         self._process_event(delta.entries, delta.categorical_indices, hoist=False)
 
-    def update_batch(self, batch: DeltaBatch) -> None:
-        """Batched engine entry point, exactly equivalent to the per-event path.
+    def _update_batch_exact(self, batch: DeltaBatch) -> None:
+        """Exact batched path, exactly equivalent to the per-event path.
 
         Events are consumed as raw entry groups
         (:meth:`DeltaBatch.entry_groups`) — no ``WindowEvent`` / ``Delta``
@@ -136,7 +138,6 @@ class RandomizedCPD(ContinuousCPD):
         with the per-event path, so batched and sequential execution perform
         identical float operations.
         """
-        self._require_initialized()
         window = self.window
         prev_grams = self._prev_grams
         grams = self._grams

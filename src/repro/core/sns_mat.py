@@ -60,6 +60,19 @@ class SNSMat(ContinuousCPD):
         # verbatim instead (weights arrive via _load_aux_state).
         pass
 
+    def _prepare_sharded(self) -> None:
+        # The sharded executor works with unweighted factor rows (shard-local
+        # least-squares solves, as in SNS_VEC); SNS_MAT's per-sweep column
+        # normalisation is inherently global and is the relaxation this
+        # variant accepts under sharding.  Absorb λ into the first factor
+        # once on entering sharded mode — the decomposition it represents is
+        # unchanged — and keep λ ≡ 1 thereafter.  Restoring a sharded
+        # checkpoint re-runs this on already-absorbed factors with λ = 1, a
+        # no-op, so restore adopts the saved state verbatim.
+        self._factors[0] *= self._weights[None, :]
+        self._grams[0] = self._factors[0].T @ self._factors[0]
+        self._weights = np.ones(self.rank, dtype=np.float64)
+
     @property
     def weights(self) -> np.ndarray:
         """Column weights ``λ`` produced by the latest normalisation."""
@@ -87,8 +100,8 @@ class SNSMat(ContinuousCPD):
             self._weights = norms
             self._grams[mode] = normalized.T @ normalized
 
-    def update_batch(self, batch: DeltaBatch) -> None:
-        """Batched engine entry point: one warm-started sweep per event.
+    def _update_batch_exact(self, batch: DeltaBatch) -> None:
+        """Exact batched path: one warm-started sweep per event.
 
         Exactly equivalent to the per-event path — the window mutation is
         interleaved so each sweep sees the window as of its event — but the
@@ -97,7 +110,6 @@ class SNSMat(ContinuousCPD):
         every :func:`mttkrp` call.  (The window does not change during a
         sweep, so the arrays, and therefore the results, are identical.)
         """
-        self._require_initialized()
         window = self.window
         order = window.order
         for delta in batch.deltas:

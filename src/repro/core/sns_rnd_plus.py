@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.als.mttkrp import mttkrp_row
 from repro.core.randomized import Entries, RandomizedCPD, _lapack_trtrs
+from repro.core.rowmath import clipped_coordinate_descent
 
 Coordinate = tuple[int, ...]
 
@@ -37,6 +38,7 @@ class SNSRndPlus(RandomizedCPD):
     """Sampled coordinate-descent updates with clipping: the paper's default choice."""
 
     name = "sns_rnd_plus"
+    shard_clipped = True
 
     def _post_initialize(self) -> None:
         super()._post_initialize()
@@ -174,21 +176,14 @@ class SNSRndPlus(RandomizedCPD):
         numerator: np.ndarray,
         hadamard: np.ndarray,
     ) -> np.ndarray:
-        """Entry-by-entry update with clipping — the seed implementation."""
+        """Entry-by-entry update with clipping — the seed implementation.
+
+        Delegates to the shared pure sweep
+        :func:`repro.core.rowmath.clipped_coordinate_descent` (bit-identical
+        float operations to the historical inline loop).
+        """
         eta = self._config.eta
         lower = 0.0 if self._config.nonnegative else -eta
-        ridge = self._config.regularization
-        row = old_row.copy()
-        for k in range(self.rank):
-            column = hadamard[:, k]
-            c_k = column[k] + ridge
-            if c_k <= 0.0:
-                continue
-            d_k = float(row @ column) - row[k] * column[k]
-            updated = (numerator[k] - d_k) / c_k
-            if updated > eta:
-                updated = eta
-            elif updated < lower:
-                updated = lower
-            row[k] = updated
-        return row
+        return clipped_coordinate_descent(
+            old_row, numerator, hadamard, eta, lower, self._config.regularization
+        )

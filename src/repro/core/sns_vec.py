@@ -38,8 +38,8 @@ class SNSVec(ContinuousCPD):
             else:
                 self._update_categorical_row(mode, index)
 
-    def update_batch(self, batch: DeltaBatch) -> None:
-        """Batched engine entry point, exactly equivalent to the per-event path.
+    def _update_batch_exact(self, batch: DeltaBatch) -> None:
+        """Exact batched path, exactly equivalent to the per-event path.
 
         A shift event updates two time-mode rows, and both solves use the
         Hadamard product of the *categorical* Gram matrices — which the
@@ -47,7 +47,6 @@ class SNSVec(ContinuousCPD):
         therefore computes the same ``R x R`` inverse twice; here it is
         computed once per event and shared, which changes no values.
         """
-        self._require_initialized()
         window = self.window
         time_mode = self.time_mode
         for delta in batch.deltas:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.als.mttkrp import mttkrp_row
 from repro.core.base import ContinuousCPD
+from repro.core.rowmath import clipped_coordinate_descent
 from repro.stream.deltas import Delta, DeltaBatch
 
 
@@ -21,6 +22,7 @@ class SNSVecPlus(ContinuousCPD):
     """Coordinate-descent row updates with entry clipping at ``η``."""
 
     name = "sns_vec_plus"
+    shard_clipped = True
 
     # ------------------------------------------------------------------
     # Algorithm 3 outline
@@ -29,15 +31,14 @@ class SNSVecPlus(ContinuousCPD):
         for mode, index in self._affected_rows(delta):
             self._update_row(mode, index, delta)
 
-    def update_batch(self, batch: DeltaBatch) -> None:
-        """Batched engine entry point, exactly equivalent to the per-event path.
+    def _update_batch_exact(self, batch: DeltaBatch) -> None:
+        """Exact batched path, exactly equivalent to the per-event path.
 
-        As in :meth:`SNSVec.update_batch`, the Hadamard-of-Grams matrix of
-        the time mode is unchanged by time-row updates, so one matrix per
-        event serves both time rows of a shift instead of being rebuilt per
-        row.  No values change.
+        As in :meth:`SNSVec._update_batch_exact`, the Hadamard-of-Grams
+        matrix of the time mode is unchanged by time-row updates, so one
+        matrix per event serves both time rows of a shift instead of being
+        rebuilt per row.  No values change.
         """
-        self._require_initialized()
         window = self.window
         time_mode = self.time_mode
         for delta in batch.deltas:
@@ -104,21 +105,18 @@ class SNSVecPlus(ContinuousCPD):
           ones (true coordinate descent),
         * the data term ``numerator[k]`` was precomputed by the caller
           because it does not depend on the row being updated.
+
+        The sweep itself is the shared pure function
+        :func:`repro.core.rowmath.clipped_coordinate_descent` (bit-identical
+        float operations to the historical inline loop).
         """
         eta = self.config.eta
         lower = 0.0 if self.config.nonnegative else -eta
-        ridge = self.config.regularization
-        row = self._factors[mode][index, :].copy()
-        for k in range(self.rank):
-            column = hadamard[:, k]
-            c_k = column[k] + ridge
-            if c_k <= 0.0:
-                continue
-            d_k = float(row @ column) - row[k] * column[k]
-            updated = (numerator[k] - d_k) / c_k
-            if updated > eta:
-                updated = eta
-            elif updated < lower:
-                updated = lower
-            row[k] = updated
-        return row
+        return clipped_coordinate_descent(
+            self._factors[mode][index, :],
+            numerator,
+            hadamard,
+            eta,
+            lower,
+            self.config.regularization,
+        )

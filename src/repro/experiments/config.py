@@ -89,6 +89,17 @@ class ExperimentSettings:
         Resume each method from its checkpoint under ``checkpoint_dir`` when
         one exists, continuing to ``max_events`` total events; requires
         ``checkpoint_dir``.
+    shards:
+        Shard count for the relaxed-consistency sharded update path
+        (:mod:`repro.shard`), forwarded to
+        :class:`repro.core.base.SNSConfig`.  ``1`` (the default) with
+        ``staleness=0`` keeps the exact path; ``> 1`` partitions every
+        batch's events into shared-nothing shards.  Ignored by the periodic
+        baselines.  Requires ``batched=True`` to take effect — the per-event
+        loop never goes through ``update_batch``.
+    staleness:
+        Batches between Gram/λ synchronizations of the sharded path.  ``0``
+        (the default) re-snapshots every batch.
     n_workers:
         Number of worker processes the experiment fan-out may use
         (:mod:`repro.experiments.parallel`).  ``1`` (the default) runs every
@@ -108,6 +119,8 @@ class ExperimentSettings:
     batched: bool = False
     sampling: str = "vectorized"
     backend: str = "auto"
+    shards: int = 1
+    staleness: int = 0
     checkpoint_dir: str | None = None
     checkpoint_events: int | None = None
     resume: bool = False
@@ -139,6 +152,17 @@ class ExperimentSettings:
         if not isinstance(self.backend, str) or not self.backend:
             raise ConfigurationError(
                 f"backend must be a backend name or 'auto', got {self.backend!r}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.staleness < 0:
+            raise ConfigurationError(
+                f"staleness must be >= 0, got {self.staleness}"
+            )
+        if (self.shards > 1 or self.staleness > 0) and not self.batched:
+            raise ConfigurationError(
+                "shards/staleness require batched=True — the sharded path "
+                "executes update_batch, which the per-event loop never calls"
             )
         if self.checkpoint_events is not None and self.checkpoint_events <= 0:
             raise ConfigurationError(

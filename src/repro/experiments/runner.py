@@ -142,6 +142,8 @@ def run_method(
     batched: bool = False,
     sampling: str = "vectorized",
     backend: str = "auto",
+    shards: int = 1,
+    staleness: int = 0,
     checkpoint_dir: str | Path | None = None,
     checkpoint_events: int | None = None,
     resume: bool = False,
@@ -203,6 +205,11 @@ def run_method(
         )
         fitness_every = checkpoint_every
     kind = method_kind(method)
+    if (shards > 1 or staleness > 0) and not batched:
+        raise ConfigurationError(
+            "shards/staleness require batched=True — the sharded path "
+            "executes update_batch, which the per-event loop never calls"
+        )
     if checkpoint_events is not None and checkpoint_events <= 0:
         raise ConfigurationError(
             f"checkpoint_events must be positive, got {checkpoint_events}"
@@ -237,6 +244,8 @@ def run_method(
             seed=seed,
             sampling=sampling,
             backend=backend,
+            shards=shards,
+            staleness=staleness,
         )
         # The kernel backend is an execution detail: resuming a run on a
         # different backend is explicitly supported, so it is excluded from
@@ -282,6 +291,8 @@ def run_method(
                     seed=seed,
                     sampling=sampling,
                     backend=backend,
+                    shards=shards,
+                    staleness=staleness,
                 ),
             )
         else:
@@ -493,6 +504,8 @@ def run_experiment(
             batched=settings.batched,
             sampling=settings.sampling,
             backend=settings.backend,
+            shards=settings.shards,
+            staleness=settings.staleness,
             checkpoint_events=settings.checkpoint_events,
             # Keep run checkpoints at <checkpoint_dir>/<method>, the
             # sequential layout, so runs interoperate across n_workers.

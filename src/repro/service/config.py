@@ -46,6 +46,15 @@ class StreamConfig:
         honours ``repro serve --backend`` / ``REPRO_KERNEL_BACKEND`` and
         otherwise auto-detects; an execution detail (checkpoints restore
         across backends), recorded per stream in telemetry.
+    shards, staleness:
+        Sharded update path knobs (see :mod:`repro.shard`): shard count and
+        batches between Gram synchronizations.  ``None`` — the default —
+        defers to the process-wide defaults set by ``repro serve --shards``
+        / ``--staleness`` (or their environment variables); the resolved
+        values are pinned into the model's
+        :class:`~repro.core.base.SNSConfig` when the stream starts, so a
+        checkpointed stream keeps its mode across restarts regardless of
+        the server's current defaults.
     als_iterations:
         ALS sweeps used to initialise the factors when the stream starts.
     detector_warmup:
@@ -65,6 +74,8 @@ class StreamConfig:
     nonnegative: bool = False
     sampling: str = "vectorized"
     backend: str = "auto"
+    shards: int | None = None
+    staleness: int | None = None
     seed: int = 0
     als_iterations: int = 10
     detector_warmup: int = 30
@@ -94,6 +105,14 @@ class StreamConfig:
         if not isinstance(self.backend, str) or not self.backend:
             raise ConfigurationError(
                 f"backend must be a backend name or 'auto', got {self.backend!r}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.staleness is not None and self.staleness < 0:
+            raise ConfigurationError(
+                f"staleness must be >= 0, got {self.staleness}"
             )
         if self.als_iterations <= 0:
             raise ConfigurationError(

@@ -1,0 +1,41 @@
+"""Shard-aware update plans: relaxed-consistency sharded batch execution.
+
+The :mod:`repro.shard` subsystem turns a model's batched update into an
+explicit **plan → execute → merge** pipeline:
+
+- :func:`plan_batch` / :class:`ShardPlan` partition a batch's events into
+  shared-nothing shards by categorical factor row (stage 1);
+- :class:`ShardedExecutor` runs shard-local kernel work against an immutable
+  factor snapshot and merges results deterministically (stages 2-3), with a
+  ``staleness`` knob bounding how many batches may elapse between
+  synchronizations;
+- :func:`resolve_shards` / :func:`resolve_staleness` /
+  :func:`set_default_sharding` implement the process-wide default contract
+  used by the CLI entry points.
+
+The exact update path is the ``shards=1``, ``staleness=0`` special case and
+stays bit-for-bit unchanged.
+"""
+
+from repro.shard.defaults import (
+    SHARDS_ENV,
+    STALENESS_ENV,
+    resolve_shards,
+    resolve_staleness,
+    set_default_sharding,
+)
+from repro.shard.executor import POOL_ENV, ShardedExecutor, execute_shard
+from repro.shard.plan import ShardPlan, plan_batch
+
+__all__ = [
+    "POOL_ENV",
+    "SHARDS_ENV",
+    "STALENESS_ENV",
+    "ShardPlan",
+    "ShardedExecutor",
+    "execute_shard",
+    "plan_batch",
+    "resolve_shards",
+    "resolve_staleness",
+    "set_default_sharding",
+]

@@ -1,0 +1,86 @@
+"""Process-wide sharding defaults (the ``repro serve --shards`` knob).
+
+Mirrors the kernel-backend selection contract
+(:func:`repro.kernels.registry.set_default_backend`): an explicit value wins,
+then the process-wide default set by a CLI entry point, then the
+``REPRO_SHARDS`` / ``REPRO_STALENESS`` environment variables, then the exact
+path (1 shard, 0 staleness).  The resolved values are *pinned into each
+model's* :class:`~repro.core.base.SNSConfig` at construction time, so a
+checkpointed run never depends on the environment it is restored under.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ConfigurationError
+
+_DEFAULT_SHARDS: int | None = None
+_DEFAULT_STALENESS: int | None = None
+
+#: Environment variables consulted when no explicit/process default is set.
+SHARDS_ENV = "REPRO_SHARDS"
+STALENESS_ENV = "REPRO_STALENESS"
+
+
+def _validated_shards(value: object, origin: str) -> int:
+    try:
+        shards = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{origin} must be an integer, got {value!r}") from None
+    if shards < 1:
+        raise ConfigurationError(f"{origin} must be >= 1, got {shards}")
+    return shards
+
+
+def _validated_staleness(value: object, origin: str) -> int:
+    try:
+        staleness = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{origin} must be an integer, got {value!r}") from None
+    if staleness < 0:
+        raise ConfigurationError(f"{origin} must be >= 0, got {staleness}")
+    return staleness
+
+
+def set_default_sharding(
+    shards: int | None = None, staleness: int | None = None
+) -> None:
+    """Set the process-wide sharding defaults (``None`` clears one).
+
+    Used by ``repro serve --shards/--staleness`` so every stream created
+    without an explicit per-stream setting inherits the server's mode.
+    """
+    global _DEFAULT_SHARDS, _DEFAULT_STALENESS
+    _DEFAULT_SHARDS = (
+        None if shards is None else _validated_shards(shards, "default shards")
+    )
+    _DEFAULT_STALENESS = (
+        None
+        if staleness is None
+        else _validated_staleness(staleness, "default staleness")
+    )
+
+
+def resolve_shards(explicit: int | None = None) -> int:
+    """Resolve a shard count: explicit → process default → env → 1."""
+    if explicit is not None:
+        return _validated_shards(explicit, "shards")
+    if _DEFAULT_SHARDS is not None:
+        return _DEFAULT_SHARDS
+    env = os.environ.get(SHARDS_ENV)
+    if env:
+        return _validated_shards(env, SHARDS_ENV)
+    return 1
+
+
+def resolve_staleness(explicit: int | None = None) -> int:
+    """Resolve a staleness bound: explicit → process default → env → 0."""
+    if explicit is not None:
+        return _validated_staleness(explicit, "staleness")
+    if _DEFAULT_STALENESS is not None:
+        return _DEFAULT_STALENESS
+    env = os.environ.get(STALENESS_ENV)
+    if env:
+        return _validated_staleness(env, STALENESS_ENV)
+    return 0

@@ -1,0 +1,542 @@
+"""Stages 2-3 of the sharded pipeline: execute shard tasks, merge results.
+
+:class:`ShardedExecutor` runs a model's ``update_batch`` as an explicit
+**plan → execute → merge** pipeline with relaxed consistency:
+
+1. **Plan** (:func:`repro.shard.plan.plan_batch`): the batch's events are
+   partitioned into shared-nothing shards by categorical ``(mode, index)``
+   keys.  The whole batch is applied to the window up front — the first
+   relaxation: row updates observe the batch-final window, not the per-event
+   interleaving of the exact path.
+2. **Execute** (:func:`execute_shard`, a pure module-level function safe for
+   thread *and* process pools): each shard updates its categorical factor
+   rows against a shared immutable *snapshot* of the factors — kernel calls
+   only (``mttkrp_rows``, the fused ``sampled_residual``, one batched
+   ``solve_regularized`` per mode, or the shared clipped coordinate-descent
+   sweep) with no access to live model state.  Workers receive pre-gathered
+   slice arrays and pre-drawn samples, so they hold no locks, read no shared
+   mutable state, and draw no randomness of their own.
+3. **Merge** (serial, in shard-id order): shard row results are committed to
+   the live factors with rank-one Gram maintenance, the per-shard time-row
+   contributions are summed and applied per time index in ascending order,
+   and counters advance.  Serial deterministic merging is what makes the
+   sharded path replayable: thread scheduling can reorder *work*, never
+   *effects*.
+
+The ``staleness`` knob bounds how many batches may elapse between snapshot
+refreshes (Gram/λ synchronizations): ``0`` re-snapshots every batch, ``s``
+lets shards work against factors up to ``s`` batches old.  At every refresh
+the live Gram matrices are also recomputed exactly from the factors, so
+rank-one float drift cannot accumulate across sync intervals.
+
+Sampling determinism: rows whose slice degree exceeds ``θ`` draw their
+coordinates in the dispatch stage from a *stateless* per-(batch, shard)
+generator — ``np.random.default_rng((seed, batch_counter, shard_id))`` — so
+results are independent of pool type and thread schedule, and restoring a
+checkpoint mid-interval replays the exact draw sequence.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.rowmath import clipped_coordinate_descent
+from repro.core.sampling import SliceSampler
+from repro.exceptions import ConfigurationError
+from repro.kernels.api import empty_overrides
+from repro.kernels.registry import resolve_backend
+from repro.shard.plan import ShardPlan, plan_batch
+from repro.stream.deltas import DeltaBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import ContinuousCPD
+
+#: Environment variable selecting the worker pool implementation.
+POOL_ENV = "REPRO_SHARD_POOL"
+POOL_KINDS = ("thread", "serial", "process")
+
+
+def _resolve_pool(explicit: str | None) -> str:
+    kind = explicit if explicit is not None else os.environ.get(POOL_ENV, "thread")
+    if kind not in POOL_KINDS:
+        raise ConfigurationError(
+            f"shard pool must be one of {POOL_KINDS}, got {kind!r}"
+        )
+    return kind
+
+
+@dataclasses.dataclass(slots=True)
+class ShardSpec:
+    """Per-model constants every shard task is executed under."""
+
+    rank: int
+    time_mode: int
+    clipped: bool
+    sampled: bool
+    theta: int
+    eta: float
+    lower: float
+    ridge: float
+    ridge_matrix: np.ndarray | None
+    backend: str
+
+
+@dataclasses.dataclass(slots=True)
+class ShardSnapshot:
+    """Immutable factor/Gram state every shard reads during one interval."""
+
+    factors: list[np.ndarray]
+    grams: list[np.ndarray]
+    hadamards: list[np.ndarray]
+
+
+@dataclasses.dataclass(slots=True)
+class ShardRowTask:
+    """One categorical factor row owned by a shard, with pre-gathered data."""
+
+    mode: int
+    index: int
+    slice_indices: np.ndarray  # (deg, M) int64 — the row's Omega slice
+    slice_values: np.ndarray  # (deg,) float64
+    samples: np.ndarray | None  # (n, M) int64, sampled rows only
+    observed: np.ndarray | None  # (n,) float64, window values at samples
+
+
+@dataclasses.dataclass(slots=True)
+class ShardTask:
+    """Everything one shard needs: its rows plus its events' entry changes."""
+
+    shard_id: int
+    rows: list[ShardRowTask]
+    entry_coords: np.ndarray  # (nnz, M) int64
+    entry_values: np.ndarray  # (nnz,) float64
+
+
+@dataclasses.dataclass(slots=True)
+class ShardResult:
+    """A shard's proposed effects, applied by the serial merge stage."""
+
+    shard_id: int
+    row_updates: list[tuple[int, int, np.ndarray]]
+    time_contrib: dict[int, np.ndarray]
+
+
+def _hadamards(grams: list[np.ndarray]) -> list[np.ndarray]:
+    """Per-mode ``*_{n != mode} grams[n]`` products."""
+    order = len(grams)
+    result = []
+    for mode in range(order):
+        product: np.ndarray | None = None
+        for other in range(order):
+            if other == mode:
+                continue
+            product = grams[other].copy() if product is None else product * grams[other]
+        result.append(product)
+    return result
+
+
+def _row_numerator(
+    row: ShardRowTask, snapshot: ShardSnapshot, spec: ShardSpec, kernels: Any
+) -> np.ndarray:
+    """Data term of one shard-local row update, against the snapshot.
+
+    Low-degree rows (and every row of the non-sampled variants) use the
+    exact MTTKRP over the row's slice (Eq. 12 / Eq. 21 with the snapshot
+    factors); sampled rows use the Eq. 16 / Eq. 23 structure with the
+    snapshot playing the role of ``A_prev``: ``a_snap @ H_snap`` plus the
+    fused sampled residual of the window against the snapshot
+    reconstruction.  The window already contains the whole batch, so the
+    event's own entries need no special casing — any sample landing on them
+    contributes its residual naturally.
+    """
+    factors = snapshot.factors
+    if row.samples is None:
+        return kernels.mttkrp_rows(row.slice_indices, row.slice_values, factors, row.mode)
+    snap_row = factors[row.mode][row.index, :]
+    if row.samples.shape[0]:
+        override_modes, override_indices, override_rows = empty_overrides(spec.rank)
+        residual = kernels.sampled_residual(
+            row.samples,
+            row.observed,
+            factors,
+            row.mode,
+            snap_row,
+            override_modes,
+            override_indices,
+            override_rows,
+        )
+    else:
+        residual = np.zeros(spec.rank, dtype=np.float64)
+    return snap_row @ snapshot.hadamards[row.mode] + residual
+
+
+def _time_contributions(
+    task: ShardTask, snapshot: ShardSnapshot, spec: ShardSpec
+) -> dict[int, np.ndarray]:
+    """Per-time-index ``sum_J Δx_J * prod_{n != time} a_snap(n)_{j_n}`` terms.
+
+    The shard's share of the Eq. 9 delta row for every time index its events
+    touched, evaluated against the snapshot rows; the merge stage sums these
+    across shards and applies one time-row update per index.
+    """
+    contrib: dict[int, np.ndarray] = {}
+    coords = task.entry_coords
+    if coords.shape[0] == 0:
+        return contrib
+    factors = snapshot.factors
+    products = np.ones((coords.shape[0], spec.rank), dtype=np.float64)
+    for mode in range(spec.time_mode):
+        products *= factors[mode][coords[:, mode], :]
+    weighted = products * task.entry_values[:, None]
+    units = coords[:, spec.time_mode]
+    for unit in np.unique(units):  # ascending: deterministic accumulation
+        contrib[int(unit)] = weighted[units == unit].sum(axis=0)
+    return contrib
+
+
+def execute_shard(
+    task: ShardTask, snapshot: ShardSnapshot, spec: ShardSpec
+) -> ShardResult:
+    """Execute one shard's row updates — pure function of its arguments.
+
+    Reads only the immutable snapshot and the task's pre-gathered arrays;
+    returns proposed row values and time contributions without touching any
+    live state.  Safe to run on any worker of any pool, in any order.
+    """
+    kernels = resolve_backend(spec.backend)
+    factors = snapshot.factors
+    row_updates: list[tuple[int, int, np.ndarray]] = []
+    if spec.clipped:
+        for row in task.rows:
+            numerator = _row_numerator(row, snapshot, spec, kernels)
+            new_row = clipped_coordinate_descent(
+                factors[row.mode][row.index, :],
+                numerator,
+                snapshot.hadamards[row.mode],
+                spec.eta,
+                spec.lower,
+                spec.ridge,
+            )
+            row_updates.append((row.mode, row.index, new_row))
+    else:
+        # Least-squares variants: one batched regularized solve per mode
+        # over all of the shard's rows of that mode.
+        solve_scratch = np.empty((spec.rank, spec.rank))
+        by_mode: dict[int, list[ShardRowTask]] = {}
+        for row in task.rows:
+            by_mode.setdefault(row.mode, []).append(row)
+        solved: dict[tuple[int, int], np.ndarray] = {}
+        for mode, rows in by_mode.items():
+            rhs = np.empty((len(rows), spec.rank), dtype=np.float64)
+            for position, row in enumerate(rows):
+                rhs[position, :] = _row_numerator(row, snapshot, spec, kernels)
+            new_rows = kernels.solve_regularized(
+                snapshot.hadamards[mode], rhs, spec.ridge_matrix, solve_scratch
+            )
+            for row, new_row in zip(rows, new_rows):
+                solved[(row.mode, row.index)] = np.asarray(new_row, dtype=np.float64)
+        for row in task.rows:
+            row_updates.append((row.mode, row.index, solved[(row.mode, row.index)]))
+    return ShardResult(
+        shard_id=task.shard_id,
+        row_updates=row_updates,
+        time_contrib=_time_contributions(task, snapshot, spec),
+    )
+
+
+class ShardedExecutor:
+    """Relaxed-consistency sharded ``update_batch`` for one model.
+
+    Attached by :meth:`repro.core.base.ContinuousCPD._attach_sharded` when
+    ``config.shards > 1`` or ``config.staleness > 0``; holds the batch
+    counter, the shared snapshot, and the worker pool.  The pool kind
+    defaults to threads (the kernels release the GIL under the numba
+    backend; the numpy reference spends its time in BLAS which mostly does
+    too) and can be forced with ``REPRO_SHARD_POOL=serial|thread|process``
+    — results are bit-identical across pool kinds by construction.
+    """
+
+    def __init__(self, model: "ContinuousCPD", pool: str | None = None) -> None:
+        config = model.config
+        self._model = model
+        self._n_shards = int(config.shards)
+        self._staleness = int(config.staleness)
+        self._seed = int(config.seed or 0)
+        self._pool_kind = _resolve_pool(pool)
+        self._batch_counter = 0
+        self._snapshot: ShardSnapshot | None = None
+        self._pool: Any | None = None
+        self._sampler = SliceSampler(model.window.shape) if model.shard_sampled else None
+        eta = float(config.eta)
+        self._spec = ShardSpec(
+            rank=int(config.rank),
+            time_mode=model.time_mode,
+            clipped=bool(model.shard_clipped),
+            sampled=bool(model.shard_sampled),
+            theta=int(config.theta),
+            eta=eta,
+            lower=0.0 if config.nonnegative else -eta,
+            ridge=float(config.regularization),
+            ridge_matrix=(
+                float(config.regularization) * np.eye(int(config.rank))
+                if config.regularization > 0
+                else None
+            ),
+            backend=model.kernel_backend,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (telemetry / tests)
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Configured shard count."""
+        return self._n_shards
+
+    @property
+    def staleness(self) -> int:
+        """Configured staleness bound (batches between synchronizations)."""
+        return self._staleness
+
+    @property
+    def batch_counter(self) -> int:
+        """Number of batches executed through the sharded pipeline."""
+        return self._batch_counter
+
+    @property
+    def pool_kind(self) -> str:
+        """Worker pool implementation in use."""
+        return self._pool_kind
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+    def update_batch(self, batch: DeltaBatch) -> None:
+        """Run one batch through plan → execute → merge."""
+        model = self._model
+        model.window.apply_batch(batch)
+        if self._snapshot is None or self._batch_counter % (self._staleness + 1) == 0:
+            self._refresh_snapshot()
+        plan = plan_batch(batch, self._n_shards)
+        tasks = self._build_tasks(batch, plan)
+        results = self._execute(tasks)
+        self._merge(results)
+        model._n_updates += batch.n_events
+        self._batch_counter += 1
+
+    def _refresh_snapshot(self) -> None:
+        """Synchronize: exact Grams from the live factors, fresh snapshot.
+
+        Recomputing the live Gram matrices here (instead of trusting the
+        rank-one maintenance) bounds float drift by the staleness interval;
+        the randomized variants' prev-Grams are re-pinned to the Grams so a
+        checkpoint taken mid-run restores into a consistent object.
+        """
+        model = self._model
+        factors = [factor.copy() for factor in model._factors]
+        grams = [factor.T @ factor for factor in factors]
+        for live, exact in zip(model._grams, grams):
+            np.copyto(live, exact)
+        prev_grams = getattr(model, "_prev_grams", None)
+        if prev_grams is not None:
+            for buffer, gram in zip(prev_grams, grams):
+                np.copyto(buffer, gram)
+        self._snapshot = ShardSnapshot(
+            factors=factors, grams=grams, hadamards=_hadamards(grams)
+        )
+
+    def _build_tasks(self, batch: DeltaBatch, plan: ShardPlan) -> list[ShardTask]:
+        """Dispatch stage: gather per-shard rows, slices, samples, entries.
+
+        Runs in the caller's thread against the batch-final window so the
+        execute stage touches no shared mutable state.  Sample draws use the
+        stateless per-(batch, shard) generators described in the module
+        docstring; the distinct rows of a shard keep first-occurrence order.
+        """
+        model = self._model
+        tensor = model.window.tensor
+        spec = self._spec
+        groups = list(batch.entry_groups())
+        shard_events: list[list[int]] = [[] for _ in range(self._n_shards)]
+        for event, shard in enumerate(plan.assignments):
+            shard_events[shard].append(event)
+        tasks: list[ShardTask] = []
+        for shard_id, events in enumerate(shard_events):
+            owned_rows: dict[tuple[int, int], None] = {}
+            coords: list[tuple[int, ...]] = []
+            values: list[float] = []
+            for event in events:
+                record, _step, entries = groups[event]
+                for mode, index in enumerate(record.indices):
+                    owned_rows.setdefault((mode, int(index)), None)
+                for coordinate, value in entries:
+                    coords.append(coordinate)
+                    values.append(value)
+            rng: np.random.Generator | None = None
+            row_tasks: list[ShardRowTask] = []
+            for mode, index in owned_rows:
+                slice_indices, slice_values = tensor.mode_slice_arrays(mode, index)
+                samples: np.ndarray | None = None
+                observed: np.ndarray | None = None
+                if (
+                    spec.sampled
+                    and self._sampler is not None
+                    and slice_values.shape[0] > spec.theta
+                ):
+                    if rng is None:
+                        rng = np.random.default_rng(
+                            (self._seed, self._batch_counter, shard_id)
+                        )
+                    samples = self._sampler.sample(mode, index, spec.theta, rng)
+                    observed = (
+                        tensor._get_batch_trusted(samples)
+                        if samples.shape[0]
+                        else np.empty(0, dtype=np.float64)
+                    )
+                row_tasks.append(
+                    ShardRowTask(
+                        mode=mode,
+                        index=index,
+                        slice_indices=slice_indices,
+                        slice_values=slice_values,
+                        samples=samples,
+                        observed=observed,
+                    )
+                )
+            if coords:
+                entry_coords = np.asarray(coords, dtype=np.int64)
+                entry_values = np.asarray(values, dtype=np.float64)
+            else:
+                entry_coords = np.empty((0, model.order), dtype=np.int64)
+                entry_values = np.empty(0, dtype=np.float64)
+            tasks.append(
+                ShardTask(
+                    shard_id=shard_id,
+                    rows=row_tasks,
+                    entry_coords=entry_coords,
+                    entry_values=entry_values,
+                )
+            )
+        return tasks
+
+    def _execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Run the pure execute stage on the configured pool, in task order."""
+        snapshot = self._snapshot
+        spec = self._spec
+        if self._pool_kind == "serial" or self._n_shards == 1:
+            return [execute_shard(task, snapshot, spec) for task in tasks]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(execute_shard, task, snapshot, spec) for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            if self._pool_kind == "process":
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self._n_shards
+                )
+            else:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self._n_shards, thread_name_prefix="repro-shard"
+                )
+        return self._pool
+
+    def _merge(self, results: list[ShardResult]) -> None:
+        """Serial merge in shard-id order: the only stage that mutates state.
+
+        Categorical rows are shard-disjoint by the plan, so commit order
+        within the batch cannot change values — it is fixed anyway (shard
+        id, then task order) to keep the Gram rank-one updates bit-stable.
+        Time rows are shared: contributions are summed across shards and one
+        update per time index is applied in ascending index order, with the
+        clipped variants using the coordinate-descent rule (Eq. 22) and the
+        least-squares variants the Eq. 9 rule, both against the snapshot's
+        time-mode Hadamard matrix.
+        """
+        model = self._model
+        factors = model._factors
+        spec = self._spec
+        snapshot = self._snapshot
+        time_mode = spec.time_mode
+        for result in results:
+            for mode, index, new_row in result.row_updates:
+                old_row = factors[mode][index, :].copy()
+                factors[mode][index, :] = new_row
+                model._update_gram(mode, old_row, new_row)
+        time_contrib: dict[int, np.ndarray] = {}
+        for result in results:
+            for unit, vector in result.time_contrib.items():
+                existing = time_contrib.get(unit)
+                if existing is None:
+                    time_contrib[unit] = vector.copy()
+                else:
+                    existing += vector
+        hadamard = snapshot.hadamards[time_mode]
+        if spec.clipped:
+            for unit in sorted(time_contrib):
+                old_row = factors[time_mode][unit, :].copy()
+                numerator = old_row @ hadamard + time_contrib[unit]
+                new_row = clipped_coordinate_descent(
+                    old_row, numerator, hadamard, spec.eta, spec.lower, spec.ridge
+                )
+                factors[time_mode][unit, :] = new_row
+                model._update_gram(time_mode, old_row, new_row)
+        else:
+            inverse = model._pinv(hadamard)
+            for unit in sorted(time_contrib):
+                old_row = factors[time_mode][unit, :].copy()
+                new_row = old_row + time_contrib[unit] @ inverse
+                factors[time_mode][unit, :] = new_row
+                model._update_gram(time_mode, old_row, new_row)
+
+    # ------------------------------------------------------------------
+    # Checkpoint aux protocol (rides in the model's state_dict aux)
+    # ------------------------------------------------------------------
+    def aux_state(self) -> dict[str, Any]:
+        """Executor bookkeeping as checkpoint-serializable aux entries."""
+        aux: dict[str, Any] = {
+            "shard_batch_counter": np.array(
+                [self._batch_counter], dtype=np.float64
+            )
+        }
+        if self._snapshot is not None:
+            aux["shard_snapshot_factors"] = [
+                factor.copy() for factor in self._snapshot.factors
+            ]
+            aux["shard_snapshot_grams"] = [
+                gram.copy() for gram in self._snapshot.grams
+            ]
+        return aux
+
+    def load_aux_state(self, aux: Any) -> None:
+        """Restore what :meth:`aux_state` saved (missing keys: fresh start).
+
+        Restoring the batch counter and the snapshot mid staleness interval
+        is what makes a sharded checkpoint/restore continuation bit-identical
+        to the uninterrupted run: the refresh schedule, the stateless sample
+        generators, and the snapshot every shard reads all line up again.
+        """
+        counter = aux.get("shard_batch_counter")
+        if counter is not None:
+            self._batch_counter = int(np.asarray(counter).reshape(-1)[0])
+        factors = aux.get("shard_snapshot_factors")
+        grams = aux.get("shard_snapshot_grams")
+        if factors is not None and grams is not None:
+            restored_factors = [
+                np.array(factor, dtype=np.float64, copy=True) for factor in factors
+            ]
+            restored_grams = [
+                np.array(gram, dtype=np.float64, copy=True) for gram in grams
+            ]
+            self._snapshot = ShardSnapshot(
+                factors=restored_factors,
+                grams=restored_grams,
+                hadamards=_hadamards(restored_grams),
+            )

@@ -1,0 +1,129 @@
+"""Stage 1 of the sharded pipeline: partition a batch into shared-nothing shards.
+
+A :class:`ShardPlan` assigns every event of a
+:class:`~repro.stream.deltas.DeltaBatch` to one shard such that no two shards
+ever touch the same *categorical* factor row: events are connected whenever
+they share a ``(mode, index)`` key in any non-temporal mode, the connected
+components of that relation are the atomic units of work, and components are
+packed onto shards greedily by size.  The temporal mode is shared by
+construction (every event touches it) and is therefore *not* part of the
+partition — time-row work is accumulated per shard and reconciled by the
+executor's merge step.
+
+Planning is a pure, deterministic function of the batch contents and the
+shard count: dictionaries only (no set iteration), union-find with
+lowest-root representatives, and deterministic tie-breaks (largest component
+first, then first event index; least-loaded shard first, then lowest shard
+id).  Running it twice on the same batch yields the same plan, which is what
+makes sharded runs replayable and checkpoint/restore exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.exceptions import ConfigurationError
+from repro.stream.deltas import DeltaBatch
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Deterministic event → shard assignment for one batch.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of shards the plan was built for (some may be empty).
+    n_events:
+        Number of events in the planned batch.
+    assignments:
+        Shard id of every event, in event order.
+    n_components:
+        Number of connected components the events formed; the upper bound on
+        useful parallelism for this batch.
+    """
+
+    n_shards: int
+    n_events: int
+    assignments: tuple[int, ...]
+    n_components: int
+
+    def events_of(self, shard: int) -> list[int]:
+        """Event positions assigned to ``shard``, in event order."""
+        return [
+            event
+            for event, assigned in enumerate(self.assignments)
+            if assigned == shard
+        ]
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Number of events per shard."""
+        sizes = [0] * self.n_shards
+        for assigned in self.assignments:
+            sizes[assigned] += 1
+        return sizes
+
+
+def plan_batch(batch: DeltaBatch, n_shards: int) -> ShardPlan:
+    """Partition ``batch``'s events into ``n_shards`` shared-nothing shards.
+
+    Two events that share any categorical ``(mode, index)`` key are placed in
+    the same shard (transitively), so every categorical factor row is owned
+    by exactly one shard.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    event_indices = [record.indices for record, _step, _entries in batch.entry_groups()]
+    n_events = len(event_indices)
+    parent = list(range(n_events))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    owner: dict[tuple[int, int], int] = {}
+    for event, indices in enumerate(event_indices):
+        for mode, index in enumerate(indices):
+            key = (mode, int(index))
+            prior = owner.get(key)
+            if prior is None:
+                owner[key] = event
+                continue
+            root_a = find(event)
+            root_b = find(prior)
+            if root_a == root_b:
+                continue
+            # Lowest root wins: representatives are deterministic regardless
+            # of union order.
+            if root_a < root_b:
+                parent[root_b] = root_a
+            else:
+                parent[root_a] = root_b
+
+    component_events: dict[int, list[int]] = {}
+    for event in range(n_events):
+        component_events.setdefault(find(event), []).append(event)
+
+    # Greedy balanced packing: largest component first (ties by first event
+    # index), onto the least-loaded shard (ties by lowest shard id).
+    components = sorted(
+        component_events.values(), key=lambda events: (-len(events), events[0])
+    )
+    loads = [0] * n_shards
+    assignments = [0] * n_events
+    for events in components:
+        shard = min(range(n_shards), key=lambda candidate: (loads[candidate], candidate))
+        loads[shard] += len(events)
+        for event in events:
+            assignments[event] = shard
+    return ShardPlan(
+        n_shards=n_shards,
+        n_events=n_events,
+        assignments=tuple(assignments),
+        n_components=len(components),
+    )

@@ -145,6 +145,66 @@ class TestWallClock:
         assert result.clean
 
 
+class TestShardScope:
+    """``repro.shard`` is a state-affecting package: plan construction and
+    shard execution feed factor state, so the scoped determinism rules
+    (wall clocks, set iteration) apply there exactly as in ``repro.core``;
+    randomness must come from injected ``default_rng`` instances."""
+
+    def test_wall_clock_in_shard_package_is_flagged(self):
+        result = check(
+            {
+                "repro.shard.executor": """
+                import time
+                stamp = time.time()
+                """
+            }
+        )
+        assert rule_ids(result) == ["wall-clock"]
+
+    def test_set_iteration_in_shard_package_is_flagged(self):
+        result = check(
+            {
+                "repro.shard.plan": """
+                def owners(keys):
+                    for key in set(keys):
+                        yield key
+                """
+            }
+        )
+        assert rule_ids(result) == ["set-iteration"]
+
+    def test_global_rng_in_shard_package_is_flagged(self):
+        result = check(
+            {
+                "repro.shard.executor": """
+                import numpy as np
+                jitter = np.random.rand(3)
+                """
+            }
+        )
+        assert rule_ids(result) == ["global-random"]
+
+    def test_injected_stateless_rngs_are_fine(self):
+        # The executor's sanctioned pattern: a per-(batch, shard) generator
+        # seeded from explicit counters, plus dict-ordered plan loops.
+        result = check(
+            {
+                "repro.shard.executor": """
+                import numpy as np
+
+                def shard_rng(seed, batch, shard):
+                    return np.random.default_rng((seed, batch, shard))
+
+                def drain(owners):
+                    for key in owners:  # dict: insertion-ordered
+                        yield owners[key]
+                """
+            }
+        )
+        assert result.clean
+
+
 class TestSetIteration:
     def test_for_loop_over_set_call_is_flagged(self):
         result = check(

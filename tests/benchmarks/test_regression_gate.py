@@ -1,0 +1,167 @@
+"""Unit tests for the benchmark regression gate's comparison logic.
+
+The gate is CI's last line of defence, so its own failure modes must be
+deliberate: a metric the baseline never had is skipped (old baseline, new
+benchmark), but a metric the baseline has and a fresh run silently dropped
+is a *failure with a clear per-metric message* — never a raw ``KeyError``
+and never a silent pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import regression_gate
+from benchmarks.regression_gate import (
+    Metric,
+    MinRatio,
+    check,
+    check_min_ratios,
+    parse_min_ratio,
+)
+
+FILENAME = "BENCH_fixture.json"
+
+
+@pytest.fixture
+def gate_dirs(tmp_path, monkeypatch):
+    """Isolated baseline/current dirs with one watched two-metric file."""
+    monkeypatch.setattr(
+        regression_gate,
+        "WATCHED",
+        {
+            FILENAME: (
+                Metric("speed.events_per_second", "higher", 0.10),
+                Metric("latency.save_seconds", "lower", 0.10),
+            )
+        },
+    )
+    monkeypatch.setattr(
+        regression_gate, "REQUIRED_FLAGS", {FILENAME: ("converged",)}
+    )
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def write(directory, payload, filename=FILENAME):
+    (directory / filename).write_text(json.dumps(payload))
+
+
+def full_payload(events=1000.0, save=0.5, converged=True):
+    return {
+        "speed": {"events_per_second": events},
+        "latency": {"save_seconds": save},
+        "converged": converged,
+    }
+
+
+class TestMetricComparison:
+    def test_identical_sides_pass(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload())
+        write(current, full_payload())
+        assert check(baseline, current, slack=1.0, required=set()) == []
+
+    def test_regression_beyond_tolerance_fails(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload(events=1000.0))
+        write(current, full_payload(events=500.0))
+        failures = check(baseline, current, slack=1.0, required=set())
+        assert len(failures) == 1
+        assert "speed.events_per_second regressed" in failures[0]
+
+    def test_slack_widens_the_tolerance(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload(events=1000.0))
+        write(current, full_payload(events=500.0))
+        assert check(baseline, current, slack=6.0, required=set()) == []
+
+    def test_lower_is_better_direction(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload(save=0.5))
+        write(current, full_payload(save=2.0))
+        failures = check(baseline, current, slack=1.0, required=set())
+        assert len(failures) == 1
+        assert "latency.save_seconds regressed" in failures[0]
+
+
+class TestMissingMetrics:
+    def test_metric_missing_from_current_is_a_clear_failure(
+        self, gate_dirs, capsys
+    ):
+        """The satellite fix: a dropped metric must fail with a message
+        naming the file and metric, not crash with a raw KeyError."""
+        baseline, current = gate_dirs
+        write(baseline, full_payload())
+        payload = full_payload()
+        del payload["speed"]
+        write(current, payload)
+        failures = check(baseline, current, slack=1.0, required=set())
+        assert len(failures) == 1
+        assert FILENAME in failures[0]
+        assert "current run is missing metric" in failures[0]
+        assert "speed.events_per_second" in failures[0]
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_metric_missing_from_baseline_is_skipped(self, gate_dirs, capsys):
+        """Old baseline, new metric: skip, do not fail and do not crash."""
+        baseline, current = gate_dirs
+        payload = full_payload()
+        del payload["latency"]
+        write(baseline, payload)
+        write(current, full_payload())
+        assert check(baseline, current, slack=1.0, required=set()) == []
+        out = capsys.readouterr().out
+        assert "[skip]" in out
+        assert "baseline has no metric 'latency.save_seconds'" in out
+
+    def test_file_missing_is_skipped_unless_required(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload())
+        assert check(baseline, current, slack=1.0, required=set()) == []
+        failures = check(
+            baseline, current, slack=1.0, required={FILENAME}
+        )
+        assert len(failures) == 1
+        assert "REQUIRED" in failures[0]
+
+
+class TestRequiredFlags:
+    def test_false_flag_fails(self, gate_dirs):
+        baseline, current = gate_dirs
+        write(baseline, full_payload())
+        write(current, full_payload(converged=False))
+        failures = check(baseline, current, slack=1.0, required=set())
+        assert any("converged is False, expected true" in f for f in failures)
+
+
+class TestMinRatios:
+    def test_parse_roundtrip(self):
+        demand = parse_min_ratio("BENCH_x.json:a.b.ratio:2.5")
+        assert demand == MinRatio("BENCH_x.json", "a.b.ratio", 2.5)
+
+    def test_parse_rejects_malformed_specs(self):
+        for spec in ("no-colons", "file.json:2.5", "a:b:not-a-number"):
+            with pytest.raises(ValueError):
+                parse_min_ratio(spec)
+
+    def test_floor_enforced_and_missing_target_fails(self, gate_dirs):
+        _, current = gate_dirs
+        write(current, full_payload(events=1000.0))
+        ok = check_min_ratios(
+            current, [MinRatio(FILENAME, "speed.events_per_second", 500.0)]
+        )
+        assert ok == []
+        too_high = check_min_ratios(
+            current, [MinRatio(FILENAME, "speed.events_per_second", 2000.0)]
+        )
+        assert len(too_high) == 1 and "below the absolute floor" in too_high[0]
+        missing = check_min_ratios(
+            current, [MinRatio(FILENAME, "speed.nope", 1.0)]
+        )
+        assert len(missing) == 1 and "no metric" in missing[0]

@@ -2,7 +2,7 @@
 
 Every test stream here is deliberately tiny (small modes, short window,
 few ALS iterations) so that multi-stream scenarios — including the
-100-stream soak — stay fast.
+1,000-stream soak — stay fast.
 """
 
 from __future__ import annotations

@@ -179,16 +179,30 @@ class TestConcurrentTenants:
                 assert np.array_equal(np.array(fa), np.array(fb))
             assert detectors[stream_id] == reference._detector.state_dict()
 
-    def test_soak_hundred_streams(self, tmp_path):
-        """Admission, ingestion, queries, checkpoint and recovery at 100
-        concurrent streams."""
-        n_streams = 100
+    def test_soak_thousand_streams(self, tmp_path):
+        """Admission, ingestion, queries, checkpoint and recovery at 1,000
+        concurrent streams, with the watchdog running and per-stream memory
+        structurally bounded.
+
+        At this scale the full-factor cross-check is sampled (every 50th
+        stream, deterministically); the structural invariants — window
+        occupancy capped by the window's cell count, no buffered or pending
+        records left behind, drained queues, zero watchdog stalls — are
+        asserted on *every* stream, because those are the bounds that keep
+        per-stream memory flat as tenancy grows.
+        """
+        n_streams = 1000
         root = tmp_path / "state"
-        config = ServiceConfig(max_streams=n_streams, checkpoint_root=str(root))
-        warms = {f"s{i:03d}": warm_records(seed=100 + i) for i in range(n_streams)}
+        config = ServiceConfig(
+            max_streams=n_streams,
+            checkpoint_root=str(root),
+            watchdog_stall_seconds=30.0,
+        )
+        warms = {f"s{i:04d}": warm_records(seed=100 + i) for i in range(n_streams)}
         chunk_sets = {
-            f"s{i:03d}": live_chunks(2, seed=300 + i) for i in range(n_streams)
+            f"s{i:04d}": live_chunks(1, seed=3000 + i) for i in range(n_streams)
         }
+        sample_ids = sorted(warms)[::50]  # 20 streams, deterministic
 
         async def tenant(server, stream_id):
             await create_and_start(server, stream_id, warms[stream_id])
@@ -200,29 +214,55 @@ class TestConcurrentTenants:
 
         async def scenario():
             server = StreamingServer(ServiceManager(config))
+            # The in-process harness never calls server.start() (no TCP), so
+            # start the watchdog the way start() does: the soak must prove
+            # it stays quiet under full load, not merely that it is off.
+            server._watchdog_task = asyncio.get_running_loop().create_task(
+                server._watchdog_loop(config.watchdog_stall_seconds)
+            )
             await asyncio.gather(
                 *(tenant(server, stream_id) for stream_id in warms)
             )
             ping = await dispatch(server, "ping")
             assert ping["streams"] == n_streams
+            tiny = tiny_config()
+            window_cells = int(
+                np.prod(tiny.mode_sizes) * tiny.window_length
+            )
+            for stream_id in warms:
+                stats = await dispatch(server, "stats", stream=stream_id)
+                assert stats["phase"] == "live"
+                assert 0 < stats["window_nnz"] <= window_cells
+                assert stats["pending_records"] == 0
+                assert stats["buffered_records"] == 0
+                telemetry = await dispatch(
+                    server, "telemetry", stream=stream_id
+                )
+                assert telemetry["telemetry"]["stalls_detected"] == 0
+            for row in (await dispatch(server, "streams"))["streams"]:
+                assert row["queue_depth"] == 0
+                assert not row["degraded"]
+            assert all(
+                not worker.stalled for worker in server._workers.values()
+            )
             written = await dispatch(server, "checkpoint_all")
             assert len(written["checkpointed"]) == n_streams
             factors = {
                 stream_id: (await dispatch(server, "factors", stream=stream_id))[
                     "factors"
                 ]
-                for stream_id in warms
+                for stream_id in sample_ids
             }
             await server.stop()
             return factors
 
         factors = asyncio.run(scenario())
-        # A fresh manager (fresh process in real life) recovers all 100.
+        # A fresh manager (fresh process in real life) recovers all 1,000.
         recovered = ServiceManager(config)
         report = recovered.recover()
         assert report["failed"] == {}
         assert len(report["recovered"]) == n_streams
-        for stream_id in warms:
+        for stream_id in sample_ids:
             for fa, fb in zip(
                 factors[stream_id],
                 recovered.get(stream_id).factors()["factors"],

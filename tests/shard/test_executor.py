@@ -1,0 +1,167 @@
+"""Sharded executor acceptance: activation, determinism, pool invariance.
+
+The hard guarantees of :mod:`repro.shard`:
+
+* ``shards=1`` / ``staleness=0`` is the exact path — no executor attaches,
+  so every golden/bit-exactness suite of the exact path is untouched;
+* any other setting attaches the executor, whose results are a
+  deterministic function of (config, stream): bit-identical run-to-run and
+  across pool kinds (serial / thread), with factors staying finite and
+  ``n_updates`` counting every event;
+* executor bookkeeping rides in the model's checkpoint aux so sharded runs
+  checkpoint/restore exactly (covered further by
+  ``tests/stream/test_sharded_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.als.als import decompose
+from repro.core.base import SNSConfig
+from repro.core.registry import ALGORITHMS, create_algorithm
+from repro.data.generators import generate_synthetic_stream
+from repro.exceptions import ConfigurationError
+from repro.shard.defaults import resolve_shards, resolve_staleness, set_default_sharding
+from repro.shard.executor import ShardedExecutor
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+MODE_SIZES = (6, 5)
+RANK = 3
+N_EVENTS = 150
+
+
+@pytest.fixture(scope="module")
+def setup():
+    stream = generate_synthetic_stream(
+        mode_sizes=MODE_SIZES,
+        rank=RANK,
+        n_records=300,
+        period=10.0,
+        records_per_period=30.0,
+        seed=3,
+    )
+    config = WindowConfig(mode_sizes=MODE_SIZES, window_length=3, period=10.0)
+    processor = ContinuousStreamProcessor(stream, config)
+    initial = decompose(processor.window.tensor, rank=RANK, n_iterations=5, seed=0)
+    return stream, config, initial.decomposition
+
+
+def run_variant(setup, variant, shards=1, staleness=0, max_events=N_EVENTS):
+    stream, config, initial = setup
+    processor = ContinuousStreamProcessor(stream, config)
+    model = create_algorithm(
+        variant,
+        SNSConfig(
+            rank=RANK,
+            theta=5,
+            eta=1000.0,
+            seed=0,
+            shards=shards,
+            staleness=staleness,
+        ),
+    )
+    model.initialize(processor.window, initial)
+    processor.run_batched(model=model, max_events=max_events)
+    return processor, model
+
+
+@pytest.mark.parametrize("variant", sorted(ALGORITHMS))
+def test_exact_settings_do_not_attach_executor(setup, variant):
+    _, model = run_variant(setup, variant, shards=1, staleness=0)
+    assert model._sharded is None
+
+
+@pytest.mark.parametrize("variant", sorted(ALGORITHMS))
+def test_sharded_run_is_finite_and_deterministic(setup, variant):
+    processor, model = run_variant(setup, variant, shards=3, staleness=1)
+    assert isinstance(model._sharded, ShardedExecutor)
+    for factor in model.factors:
+        assert np.all(np.isfinite(factor))
+    # Every event was counted even though updates happen per batch.
+    assert model.n_updates == processor.n_events_emitted == N_EVENTS
+    _, twin = run_variant(setup, variant, shards=3, staleness=1)
+    for factor, twin_factor in zip(model.factors, twin.factors):
+        np.testing.assert_array_equal(factor, twin_factor)
+
+
+@pytest.mark.parametrize("variant", sorted(ALGORITHMS))
+def test_thread_pool_matches_serial_bitwise(setup, variant, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_POOL", "serial")
+    _, serial = run_variant(setup, variant, shards=3, staleness=1)
+    monkeypatch.setenv("REPRO_SHARD_POOL", "thread")
+    _, threaded = run_variant(setup, variant, shards=3, staleness=1)
+    for serial_factor, thread_factor in zip(serial.factors, threaded.factors):
+        np.testing.assert_array_equal(serial_factor, thread_factor)
+
+
+def test_staleness_alone_activates_executor(setup):
+    _, model = run_variant(setup, "sns_vec", shards=1, staleness=2)
+    assert isinstance(model._sharded, ShardedExecutor)
+    assert model._sharded.n_shards == 1
+    assert model._sharded.staleness == 2
+
+
+def test_executor_counts_batches_and_exposes_aux(setup):
+    _, model = run_variant(setup, "sns_vec", shards=2, staleness=1)
+    executor = model._sharded
+    assert executor.batch_counter > 0
+    aux = model.state_dict()["aux"]
+    assert "shard_batch_counter" in aux
+    assert int(np.asarray(aux["shard_batch_counter"]).reshape(-1)[0]) == (
+        executor.batch_counter
+    )
+    assert "shard_snapshot_factors" in aux
+    assert "shard_snapshot_grams" in aux
+
+
+def test_sharded_fitness_stays_comparable_to_exact(setup):
+    """Relaxed consistency must degrade gracefully, not collapse."""
+    _, exact = run_variant(setup, "sns_vec", shards=1, staleness=0)
+    _, sharded = run_variant(setup, "sns_vec", shards=4, staleness=2)
+    exact_fitness = exact.fitness()
+    sharded_fitness = sharded.fitness()
+    assert np.isfinite(sharded_fitness)
+    assert abs(sharded_fitness - exact_fitness) <= 0.3
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        SNSConfig(rank=RANK, shards=0)
+    with pytest.raises(ConfigurationError):
+        SNSConfig(rank=RANK, staleness=-1)
+
+
+def test_invalid_pool_kind_rejected(setup, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_POOL", "fibers")
+    with pytest.raises(ConfigurationError):
+        run_variant(setup, "sns_vec", shards=2)
+
+
+def test_default_resolution_contract(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    monkeypatch.delenv("REPRO_STALENESS", raising=False)
+    set_default_sharding()
+    assert resolve_shards() == 1
+    assert resolve_staleness() == 0
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    monkeypatch.setenv("REPRO_STALENESS", "2")
+    assert resolve_shards() == 3
+    assert resolve_staleness() == 2
+    set_default_sharding(shards=5, staleness=4)
+    try:
+        assert resolve_shards() == 5  # process default beats environment
+        assert resolve_staleness() == 4
+        assert resolve_shards(2) == 2  # explicit beats everything
+        assert resolve_staleness(0) == 0
+        with pytest.raises(ConfigurationError):
+            resolve_shards(0)
+        with pytest.raises(ConfigurationError):
+            resolve_staleness(-1)
+    finally:
+        set_default_sharding()
+    monkeypatch.setenv("REPRO_SHARDS", "zero")
+    with pytest.raises(ConfigurationError):
+        resolve_shards()

@@ -1,0 +1,139 @@
+"""Shard plan properties: shared-nothing partitioning, determinism, balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_synthetic_stream
+from repro.exceptions import ConfigurationError
+from repro.shard.plan import plan_batch
+from repro.stream.deltas import DeltaBatch
+from repro.stream.events import EventKind, StreamRecord
+from repro.stream.processor import ContinuousStreamProcessor
+from repro.stream.window import WindowConfig
+
+MODE_SIZES = (6, 5)
+
+
+def stream_batches(seed=3, n_records=200):
+    stream = generate_synthetic_stream(
+        mode_sizes=MODE_SIZES,
+        rank=3,
+        n_records=n_records,
+        period=10.0,
+        records_per_period=30.0,
+        seed=seed,
+    )
+    config = WindowConfig(mode_sizes=MODE_SIZES, window_length=3, period=10.0)
+    processor = ContinuousStreamProcessor(stream, config)
+    batches = list(processor.iter_batches())
+    assert batches, "synthetic stream produced no batches"
+    return batches
+
+
+def hand_batch(index_rows, window_length=2):
+    """A trusted-shape batch with one arrival event per categorical index row."""
+    raw = []
+    coordinates = []
+    values = []
+    for sequence, indices in enumerate(index_rows):
+        record = StreamRecord(indices=tuple(indices), value=1.0, time=float(sequence))
+        raw.append((float(sequence), sequence, EventKind.ARRIVAL, record, 0))
+        coordinates.append((*indices, window_length - 1))
+        values.append(1.0)
+    return DeltaBatch(raw, coordinates, values, window_length=window_length)
+
+
+def shard_keys(batch, plan):
+    """Categorical (mode, index) keys touched by each shard's events."""
+    groups = list(batch.entry_groups())
+    keys = [dict() for _ in range(plan.n_shards)]
+    for event, shard in enumerate(plan.assignments):
+        record, _step, _entries = groups[event]
+        for mode, index in enumerate(record.indices):
+            keys[shard][(mode, int(index))] = None
+    return keys
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+def test_shards_are_key_disjoint(n_shards):
+    for batch in stream_batches():
+        plan = plan_batch(batch, n_shards)
+        assert plan.n_events == batch.n_events
+        assert len(plan.assignments) == batch.n_events
+        assert all(0 <= shard < n_shards for shard in plan.assignments)
+        keys = shard_keys(batch, plan)
+        for a in range(n_shards):
+            for b in range(a + 1, n_shards):
+                overlap = [key for key in keys[a] if key in keys[b]]
+                assert not overlap, (
+                    f"shards {a} and {b} share categorical rows {overlap}"
+                )
+
+
+def test_plan_is_deterministic():
+    for batch in stream_batches():
+        first = plan_batch(batch, 4)
+        second = plan_batch(batch, 4)
+        assert first == second
+
+
+def test_single_shard_takes_everything():
+    for batch in stream_batches(n_records=60):
+        plan = plan_batch(batch, 1)
+        assert plan.assignments == (0,) * batch.n_events
+        assert plan.shard_sizes == [batch.n_events]
+
+
+def test_more_shards_than_events():
+    batch = hand_batch([(0, 0), (1, 1)])
+    plan = plan_batch(batch, 8)
+    assert plan.n_events == 2
+    assert all(0 <= shard < 8 for shard in plan.assignments)
+    # Two disjoint events can use two distinct shards.
+    assert len(dict.fromkeys(plan.assignments)) == 2
+
+
+def test_disjoint_events_balance_within_one():
+    # Five singleton components (pairwise-distinct keys in both modes)
+    # greedily packed onto five shards must land one per shard.
+    batch = hand_batch([(i, (i + 1) % 5) for i in range(5)])
+    plan = plan_batch(batch, 5)
+    sizes = plan.shard_sizes
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_chained_events_form_one_component():
+    # Events chained through shared keys: (0,0)-(0,1) share mode-0 index 0;
+    # (0,1)-(1,1) share mode-1 index 1 -> all three in one shard.
+    batch = hand_batch([(0, 0), (0, 1), (1, 1), (3, 4)])
+    plan = plan_batch(batch, 4)
+    assert plan.n_components == 2
+    assert plan.assignments[0] == plan.assignments[1] == plan.assignments[2]
+    assert plan.assignments[3] != plan.assignments[0]
+
+
+def test_events_of_and_sizes_are_consistent():
+    batch = hand_batch([(0, 0), (1, 1), (2, 2), (0, 3)])
+    plan = plan_batch(batch, 2)
+    listed = [event for shard in range(2) for event in plan.events_of(shard)]
+    assert sorted(listed) == list(range(batch.n_events))
+    assert [len(plan.events_of(shard)) for shard in range(2)] == plan.shard_sizes
+
+
+def test_invalid_shard_count_rejected():
+    batch = hand_batch([(0, 0)])
+    with pytest.raises(ConfigurationError):
+        plan_batch(batch, 0)
+
+
+def test_plan_ignores_time_mode_keys():
+    # Two events at the same time unit but disjoint categorical keys must be
+    # separable: the time mode is reconciled by the merge, not the plan.
+    batch = hand_batch([(0, 0), (1, 1)])
+    groups = list(batch.entry_groups())
+    units = {coordinate[-1] for _record, _step, entries in groups for coordinate, _ in entries}
+    assert len(units) == 1  # both events write the same time unit
+    plan = plan_batch(batch, 2)
+    assert plan.assignments[0] != plan.assignments[1]
